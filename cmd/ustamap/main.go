@@ -1,0 +1,62 @@
+// Command ustamap renders a Therminator-style steady-state heat map of the
+// back cover for a chosen workload's dissipation split — the spatial
+// answer to "why does the paper measure the cover midsection?".
+//
+//	ustamap -workload skype
+//	ustamap -workload antutu-cpu -ambient 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "skype", "one of the 13 paper workloads")
+		ambient = flag.Float64("ambient", 25, "ambient temperature in °C")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	w := workload.ByName(*name, uint64(*seed))
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "ustamap: unknown workload %q (choose from %v)\n", *name, workload.BenchmarkNames)
+		os.Exit(1)
+	}
+
+	// Average the demand over the workload to build a representative
+	// dissipation split.
+	var cpu, gpu, aux, charge float64
+	n := 0
+	for t := 0.5; t < w.Duration(); t += 5 {
+		s := w.At(t)
+		cpu += s.CPUFrac
+		gpu += s.GPULoad
+		aux += s.AuxWatts
+		charge += s.ChargeWatts
+		n++
+	}
+	fn := float64(n)
+	cpu, gpu, aux, charge = cpu/fn, gpu/fn, aux/fn, charge/fn
+
+	socW := cpu*3.2 + gpu*1.3
+	batteryW := charge + 0.1 // charge heat plus discharge losses
+	boardW := aux
+
+	cfg := thermal.PhoneCoverConfig(*ambient)
+	m, err := thermal.SolveSurface(cfg, thermal.PhoneCoverSources(cfg, socW, batteryW, boardW))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ustamap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s at %.0f °C ambient — SoC %.2f W, battery %.2f W, board %.2f W\n\n",
+		w.Name(), *ambient, socW, batteryW, boardW)
+	fmt.Print(m.Render())
+	peak, x, y := m.Max()
+	fmt.Printf("\nhottest cell: %.1f °C at (%d,%d); surface mean %.1f °C\n", peak, x, y, m.Mean())
+}

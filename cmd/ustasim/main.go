@@ -1,0 +1,103 @@
+// Command ustasim regenerates the paper's evaluation artifacts from the
+// simulation. Each experiment prints a table (or ASCII trace chart)
+// matching one figure/table of the paper:
+//
+//	ustasim -experiment fig3                 # prediction-model error rates
+//	ustasim -experiment fig4 -csv out/       # Skype traces + CSV dump
+//	ustasim -experiment table1 -scale 0.5    # all 13 workloads, half length
+//	ustasim -experiment all                  # everything, paper scale
+//
+// The -scale flag shortens evaluation runs for quick looks; the training
+// corpus always runs long enough to cover the hot regime (-corpus-sec).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|replicate|all")
+		scale     = flag.Float64("scale", 1.0, "evaluation run duration scale (0,1]")
+		seed      = flag.Int64("seed", 42, "base seed for workload jitter and ML shuffling")
+		corpusSec = flag.Float64("corpus-sec", 0, "truncate each corpus run to this many seconds (0 = full)")
+		mlpEpochs = flag.Int("mlp-epochs", 0, "MLP training epochs for fig3 (0 = default 150)")
+		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs (empty = no dump)")
+		repN      = flag.Int("n", 5, "replications for -experiment replicate")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.CorpusPerRunSec = *corpusSec
+	cfg.MLPEpochs = *mlpEpochs
+	pl := experiments.NewPipeline(cfg)
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			fmt.Println(experiments.RunFig1(pl))
+		case "fig2":
+			fmt.Println(experiments.RunFig2(pl))
+		case "fig3":
+			fmt.Println(experiments.RunFig3(pl))
+		case "fig4":
+			res := experiments.RunFig4(pl)
+			fmt.Println(res)
+			if *csvDir != "" {
+				if err := dumpFig4(res, *csvDir); err != nil {
+					return err
+				}
+				fmt.Printf("traces written to %s\n", *csvDir)
+			}
+		case "fig5":
+			fmt.Println(experiments.RunFig5(pl))
+		case "table1":
+			fmt.Println(experiments.RunTable1(pl))
+		case "replicate":
+			fmt.Println(experiments.ReplicateFig4(pl, *repN))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1"}
+	} else {
+		names = []string{*exp}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "ustasim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func dumpFig4(res *experiments.Fig4Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base, err := os.Create(filepath.Join(dir, "fig4_baseline.csv"))
+	if err != nil {
+		return err
+	}
+	defer base.Close()
+	if err := res.Baseline.Trace.WriteCSV(base); err != nil {
+		return err
+	}
+	usta, err := os.Create(filepath.Join(dir, "fig4_usta.csv"))
+	if err != nil {
+		return err
+	}
+	defer usta.Close()
+	return res.USTA.Trace.WriteCSV(usta)
+}

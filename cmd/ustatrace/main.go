@@ -1,0 +1,108 @@
+// Command ustatrace runs one workload under a chosen governor (optionally
+// wrapped by USTA) and writes the full temperature/frequency trace as CSV —
+// the raw material for custom plots.
+//
+//	ustatrace -workload skype -out skype.csv
+//	ustatrace -workload game -governor performance -dur 600
+//	ustatrace -workload antutu-tester -usta 37 -out tester_usta.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/governor"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "skype", "one of the 13 paper workloads")
+		gov     = flag.String("governor", "ondemand", "ondemand|interactive|conservative|performance|powersave")
+		dur     = flag.Float64("dur", 0, "run duration in seconds (0 = workload length)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		out     = flag.String("out", "", "CSV output path (empty = stdout)")
+		ustaLim = flag.Float64("usta", 0, "attach USTA with this skin limit in °C (0 = off)")
+		ambient = flag.Float64("ambient", 25, "ambient temperature in °C")
+	)
+	flag.Parse()
+
+	w := workload.ByName(*name, uint64(*seed))
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "ustatrace: unknown workload %q (choose from %v)\n", *name, workload.BenchmarkNames)
+		os.Exit(1)
+	}
+
+	cfg := device.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Thermal.Ambient = *ambient
+
+	freqs := make([]float64, len(cfg.SoC.OPPs))
+	for i, o := range cfg.SoC.OPPs {
+		freqs[i] = o.FreqMHz
+	}
+	var g governor.Governor
+	switch *gov {
+	case "ondemand":
+		g = governor.NewOndemand(freqs)
+	case "interactive":
+		g = governor.NewInteractive(freqs)
+	case "conservative":
+		g = governor.NewConservative(len(freqs))
+	case "performance":
+		g = &governor.Performance{NumLevels: len(freqs)}
+	case "powersave":
+		g = &governor.Powersave{}
+	default:
+		fmt.Fprintf(os.Stderr, "ustatrace: unknown governor %q\n", *gov)
+		os.Exit(1)
+	}
+
+	phone := device.MustNew(cfg, g)
+	if *ustaLim > 0 {
+		fmt.Fprintln(os.Stderr, "ustatrace: training predictor for USTA...")
+		corpus := core.CollectCorpus(cfg, []workload.Workload{
+			workload.Skype(uint64(*seed) + 100),
+			workload.AnTuTuTester(uint64(*seed) + 101),
+			workload.StaircaseRamp(uint64(*seed)+102, 0.05, 0.95, 8, 60),
+			workload.Idle(300),
+		}, 0)
+		pred, err := core.Train(corpus, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrace:", err)
+			os.Exit(1)
+		}
+		phone.SetController(core.NewUSTA(pred, *ustaLim))
+	}
+
+	res := phone.Run(w, *dur)
+	fmt.Fprintf(os.Stderr, "%s under %s%s: peak skin %.1f °C, peak screen %.1f °C, avg %.2f GHz, energy %.0f J, battery %.0f%%→%.0f%%\n",
+		res.Workload, res.Governor, ctrlSuffix(res.Ctrl),
+		res.MaxSkinC, res.MaxScreenC, res.AvgFreqMHz/1000, res.EnergyJ,
+		res.StartSoC*100, res.EndSoC*100)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := res.Trace.WriteCSV(dst); err != nil {
+		fmt.Fprintln(os.Stderr, "ustatrace:", err)
+		os.Exit(1)
+	}
+}
+
+func ctrlSuffix(ctrl string) string {
+	if ctrl == "" {
+		return ""
+	}
+	return " + " + ctrl
+}

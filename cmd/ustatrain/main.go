@@ -1,0 +1,122 @@
+// Command ustatrain runs the paper's training pipeline end to end: collect
+// the logging corpus from the evaluation workloads, cross-validate the
+// chosen algorithm, fit the final predictor and save it as JSON (plus,
+// optionally, the corpus as WEKA-compatible ARFF).
+//
+//	ustatrain -model reptree -out predictor.json
+//	ustatrain -model m5p -arff corpus_skin.arff
+//	ustatrain -per-run 1200   # quick corpus for smoke tests
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/ml"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/m5p"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/tree"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "reptree", "reptree|m5p|linreg|mlp")
+		out    = flag.String("out", "predictor.json", "predictor output path (empty = skip)")
+		arff   = flag.String("arff", "", "also dump the skin-target corpus as ARFF to this path")
+		seed   = flag.Int64("seed", 42, "pipeline seed")
+		perRun = flag.Float64("per-run", 0, "truncate each corpus run to this many seconds (0 = full)")
+		folds  = flag.Int("folds", 10, "cross-validation folds")
+	)
+	flag.Parse()
+
+	var factory func() ml.Regressor
+	switch *model {
+	case "reptree":
+		factory = func() ml.Regressor { return tree.New(*seed) }
+	case "m5p":
+		factory = func() ml.Regressor { return m5p.New() }
+	case "linreg":
+		factory = func() ml.Regressor { return linreg.New() }
+	case "mlp":
+		factory = func() ml.Regressor {
+			m := mlp.New(*seed)
+			m.Epochs = 150
+			return m
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ustatrain: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+
+	cfg := device.DefaultConfig()
+	cfg.Seed = *seed
+	fmt.Fprintln(os.Stderr, "ustatrain: collecting corpus from the 13 evaluation workloads...")
+	loads := make([]workload.Workload, 0, 13)
+	for _, w := range workload.Benchmarks(uint64(*seed)) {
+		loads = append(loads, w)
+	}
+	corpus := core.CollectCorpus(cfg, loads, *perRun)
+	fmt.Fprintf(os.Stderr, "ustatrain: %d records\n", len(corpus))
+
+	for _, target := range []core.Target{core.SkinTarget, core.ScreenTarget} {
+		ds := core.DatasetFromRecords(corpus, target)
+		exp, pred, err := ml.CrossValidate(factory, ds, *folds, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-6s %d-fold CV: error rate %.2f%%  (gated ≥1°C: %.2f%%)  MAE %.3f °C  RMSE %.3f °C\n",
+			target, *folds,
+			ml.ErrorRate(exp, pred), ml.GatedErrorRate(exp, pred, 1.0),
+			ml.MAE(exp, pred), ml.RMSE(exp, pred))
+	}
+
+	predictor, err := core.Train(corpus, factory)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ustatrain:", err)
+		os.Exit(1)
+	}
+
+	// Which observables carry the signal? (Battery temperature dominates:
+	// the pack sits directly under the cover midsection.)
+	skinDS := core.DatasetFromRecords(corpus, core.SkinTarget)
+	if imp, err := ml.PermutationImportance(predictor.SkinModel, skinDS, *seed); err == nil {
+		fmt.Println("skin-model permutation importance (MAE increase when shuffled):")
+		for _, im := range imp {
+			fmt.Printf("  %-16s +%.3f °C\n", im.Attr, im.Increase)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrain:", err)
+			os.Exit(1)
+		}
+		if err := core.SavePredictor(f, predictor); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ustatrain:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("predictor saved to %s\n", *out)
+	}
+	if *arff != "" {
+		f, err := os.Create(*arff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrain:", err)
+			os.Exit(1)
+		}
+		if err := ml.WriteARFF(f, "usta-skin", core.DatasetFromRecords(corpus, core.SkinTarget)); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ustatrain:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("skin corpus saved to %s\n", *arff)
+	}
+}

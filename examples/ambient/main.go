@@ -1,0 +1,54 @@
+// Ambient explores USTA on a hot day: the same video call at 25 °C office
+// ambient and 35 °C outdoor ambient. A skin-temperature limit is relative
+// to the person, not the weather — so at high ambient USTA must clamp much
+// earlier and harder, and at some point the limit becomes physically
+// unreachable (board power alone exceeds it). The example also shows the
+// online recalibrator adapting the predictor to the shifted conditions.
+//
+//	go run ./examples/ambient
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+func main() {
+	baseCfg := repro.DefaultDeviceConfig()
+
+	fmt.Println("training predictor at 25 °C ambient...")
+	corpus := repro.CollectCorpus(baseCfg, repro.Benchmarks(1), 1200)
+	pred, err := repro.TrainPredictor(corpus)
+	if err != nil {
+		panic(err)
+	}
+
+	call := repro.WorkloadByName("skype", 7)
+	run := func(ambient float64, recal bool) *repro.RunResult {
+		cfg := baseCfg
+		cfg.Thermal.Ambient = ambient
+		phone := device.MustNew(cfg, nil)
+		u := core.NewUSTA(pred, repro.DefaultLimitC)
+		if recal {
+			phone.SetController(core.NewRecalibrator(u))
+		} else {
+			phone.SetController(u)
+		}
+		return phone.Run(call, 1200)
+	}
+
+	fmt.Printf("\n%-28s %12s %10s\n", "scenario (USTA @37 °C)", "peak skin", "avg freq")
+	office := run(25, false)
+	fmt.Printf("%-28s %9.1f °C %6.2f GHz\n", "office, 25 °C ambient", office.MaxSkinC, office.AvgFreqMHz/1000)
+	outdoor := run(35, false)
+	fmt.Printf("%-28s %9.1f °C %6.2f GHz\n", "hot day, 35 °C ambient", outdoor.MaxSkinC, outdoor.AvgFreqMHz/1000)
+	recal := run(35, true)
+	fmt.Printf("%-28s %9.1f °C %6.2f GHz\n", "hot day + recalibration", recal.MaxSkinC, recal.AvgFreqMHz/1000)
+
+	fmt.Println("\nat 35 °C ambient the 37 °C limit is only 2 °C of headroom: USTA pins the")
+	fmt.Println("minimum frequency almost immediately, and board-level power alone can keep")
+	fmt.Println("the cover above the limit — frequency scaling has bounded authority.")
+}

@@ -1,0 +1,62 @@
+// Calibration walks through the paper's user-study flow for a single new
+// user: discover the personal comfort limit with the hardware-stressor
+// session, then run USTA personalized to that limit and show what it
+// changes compared to the population default.
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultDeviceConfig()
+
+	// Phase 1 — discomfort calibration session. The new user holds the
+	// phone while the AnTuTu Tester stressor runs; they stop the session
+	// the moment it becomes uncomfortable. Here we simulate a user whose
+	// tolerance sits at 35.5 °C.
+	const trueComfortLimit = 35.5
+	stressor := repro.WorkloadByName("antutu-tester", 3)
+	phone := repro.NewPhone(cfg)
+	res := phone.Run(stressor, 0)
+
+	skin := res.Trace.Lookup("skin_c").Values
+	times := res.Trace.TimeSec
+	reported := 0.0
+	for i, v := range skin {
+		if v > trueComfortLimit {
+			reported = times[i]
+			break
+		}
+	}
+	fmt.Printf("calibration session: user reported discomfort at t=%.0f s (skin %.1f °C)\n",
+		reported, trueComfortLimit)
+
+	// Phase 2 — train the predictor once (shared across all users).
+	fmt.Println("training predictor...")
+	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	pred, err := repro.TrainPredictor(corpus)
+	if err != nil {
+		panic(err)
+	}
+
+	// Phase 3 — personalized vs default USTA on a gaming session.
+	game := repro.WorkloadByName("game", 9)
+	runWith := func(limit float64) *repro.RunResult {
+		p := repro.NewPhone(cfg)
+		p.SetController(repro.NewUSTA(pred, limit))
+		return p.Run(game, 900)
+	}
+	personalized := runWith(trueComfortLimit)
+	def := runWith(repro.DefaultLimitC)
+
+	fmt.Printf("\n%-22s %12s %10s\n", "controller", "peak skin", "avg freq")
+	fmt.Printf("%-22s %9.1f °C %6.2f GHz\n", "usta(personal 35.5)", personalized.MaxSkinC, personalized.AvgFreqMHz/1000)
+	fmt.Printf("%-22s %9.1f °C %6.2f GHz\n", "usta(default 37.0)", def.MaxSkinC, def.AvgFreqMHz/1000)
+	fmt.Println("\nthe default limit would let the phone run past this user's comfort point;")
+	fmt.Println("personalization trades a little frequency for staying inside it.")
+}

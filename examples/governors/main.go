@@ -1,0 +1,63 @@
+// Governors compares the thermal and performance behaviour of the standard
+// cpufreq policies against USTA on a sustained gaming workload — the
+// trade-off space the paper's controller navigates.
+//
+//	go run ./examples/governors
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/device"
+	"repro/internal/governor"
+)
+
+func main() {
+	cfg := repro.DefaultDeviceConfig()
+	game := repro.WorkloadByName("game", 5)
+
+	fmt.Println("training predictor...")
+	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	pred, err := repro.TrainPredictor(corpus)
+	if err != nil {
+		panic(err)
+	}
+
+	freqs := make([]float64, len(cfg.SoC.OPPs))
+	for i, o := range cfg.SoC.OPPs {
+		freqs[i] = o.FreqMHz
+	}
+	type entry struct {
+		name string
+		run  func() *repro.RunResult
+	}
+	entries := []entry{
+		{"performance", func() *repro.RunResult {
+			return device.MustNew(cfg, &governor.Performance{NumLevels: len(freqs)}).Run(game, 900)
+		}},
+		{"ondemand", func() *repro.RunResult {
+			return device.MustNew(cfg, governor.NewOndemand(freqs)).Run(game, 900)
+		}},
+		{"conservative", func() *repro.RunResult {
+			return device.MustNew(cfg, governor.NewConservative(len(freqs))).Run(game, 900)
+		}},
+		{"powersave", func() *repro.RunResult {
+			return device.MustNew(cfg, &governor.Powersave{}).Run(game, 900)
+		}},
+		{"ondemand+usta", func() *repro.RunResult {
+			p := repro.NewPhone(cfg)
+			p.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
+			return p.Run(game, 900)
+		}},
+	}
+
+	fmt.Printf("\n%-15s %12s %10s %12s %10s\n", "governor", "peak skin", "avg freq", "work served", "energy")
+	for _, e := range entries {
+		res := e.run()
+		fmt.Printf("%-15s %9.1f °C %6.2f GHz %11.1f%% %7.0f J\n",
+			e.name, res.MaxSkinC, res.AvgFreqMHz/1000, (1-res.Slowdown())*100, res.EnergyJ)
+	}
+	fmt.Println("\nUSTA lands between ondemand (hot, fast) and powersave (cool, slow):")
+	fmt.Println("full speed until the skin approaches the limit, then just enough clamping to hold it.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: train the skin-temperature predictor, attach USTA to a
+// simulated phone, and compare a Skype video call against the stock
+// ondemand governor.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultDeviceConfig()
+
+	// 1. Collect a training corpus: the evaluation workloads executed under
+	// the stock governor on the thermistor-instrumented phone. (20 minutes
+	// per workload keeps this quick while still covering the hot regime.)
+	fmt.Println("collecting training corpus...")
+	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	fmt.Printf("  %d logged records\n", len(corpus))
+
+	// 2. Train the run-time predictor (REPTree, as in the paper).
+	pred, err := repro.TrainPredictor(corpus)
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Run a 10-minute Skype call under the baseline governor...
+	call := repro.WorkloadByName("skype", 7)
+	baseline := repro.NewPhone(cfg).Run(call, 600)
+
+	// ...and under USTA configured for the default user (37 °C).
+	phone := repro.NewPhone(cfg)
+	phone.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
+	usta := phone.Run(call, 600)
+
+	fmt.Printf("\n%-10s %12s %12s %10s\n", "scheme", "peak skin", "peak screen", "avg freq")
+	fmt.Printf("%-10s %9.1f °C %9.1f °C %6.2f GHz\n",
+		"ondemand", baseline.MaxSkinC, baseline.MaxScreenC, baseline.AvgFreqMHz/1000)
+	fmt.Printf("%-10s %9.1f °C %9.1f °C %6.2f GHz\n",
+		"usta", usta.MaxSkinC, usta.MaxScreenC, usta.AvgFreqMHz/1000)
+	fmt.Printf("\nUSTA kept the back cover %.1f °C cooler at a %.0f%% lower average frequency.\n",
+		baseline.MaxSkinC-usta.MaxSkinC,
+		(1-usta.AvgFreqMHz/baseline.AvgFreqMHz)*100)
+}

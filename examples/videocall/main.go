@@ -1,0 +1,36 @@
+// Videocall reproduces the paper's headline scenario (Figure 4): a
+// 30-minute Skype video call under the stock ondemand governor and under
+// USTA at the default 37 °C limit, with ASCII temperature traces.
+//
+//	go run ./examples/videocall
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultExperimentConfig()
+	cfg.CorpusPerRunSec = 1200 // keep the demo quick; 0 = paper-scale corpus
+	pl := repro.NewPipeline(cfg)
+
+	fmt.Println("training predictor and running the two 30-minute calls...")
+	res := repro.RunFig4(pl)
+	fmt.Println(res)
+
+	// The detail behind the trace: how USTA's laddered clamp spent the
+	// call. max_level 11 means free-running; 0 means pinned at 384 MHz.
+	levels := res.USTA.Trace.Lookup("max_level").Values
+	counts := map[int]int{}
+	for _, l := range levels {
+		counts[int(l)]++
+	}
+	fmt.Println("USTA clamp residency (DVFS max level -> share of call):")
+	for lvl := 0; lvl < 12; lvl++ {
+		if n := counts[lvl]; n > 0 {
+			fmt.Printf("  L%-2d %5.1f%%\n", lvl, float64(n)/float64(len(levels))*100)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/m5p"
+	"repro/internal/ml/mlp"
+	"repro/internal/sensors"
+)
+
+func persistCorpus() []sensors.Record {
+	recs := make([]sensors.Record, 0, 400)
+	for i := 0; i < 400; i++ {
+		f := float64(i)
+		recs = append(recs, sensors.Record{
+			CPUTempC:     30 + f/10,
+			BatteryTempC: 26 + f/25,
+			Util:         float64(i%10) / 10,
+			FreqMHz:      384 + float64(i%12)*100,
+			SkinTempC:    26 + f/20,
+			ScreenTempC:  25 + f/22,
+		})
+	}
+	return recs
+}
+
+func roundTrip(t *testing.T, factory func() ml.Regressor) *Predictor {
+	t.Helper()
+	p, err := Train(persistCorpus(), factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePredictor(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded predictor must agree with the original everywhere we probe.
+	probe := persistCorpus()
+	for i := 0; i < len(probe); i += 7 {
+		r := probe[i]
+		if got, want := back.PredictSkin(r), p.PredictSkin(r); got != want {
+			t.Fatalf("skin prediction diverged after round trip: %v vs %v", got, want)
+		}
+		if got, want := back.PredictScreen(r), p.PredictScreen(r); got != want {
+			t.Fatalf("screen prediction diverged after round trip: %v vs %v", got, want)
+		}
+	}
+	return back
+}
+
+func TestPersistREPTree(t *testing.T) { roundTrip(t, nil) }
+
+func TestPersistM5P(t *testing.T) {
+	roundTrip(t, func() ml.Regressor { return m5p.New() })
+}
+
+func TestPersistLinearRegression(t *testing.T) {
+	roundTrip(t, func() ml.Regressor { return linreg.New() })
+}
+
+func TestPersistMLP(t *testing.T) {
+	roundTrip(t, func() ml.Regressor {
+		m := mlp.New(3)
+		m.Epochs = 20
+		return m
+	})
+}
+
+func TestSaveRejectsNilPredictor(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SavePredictor(&buf, nil); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+	if err := SavePredictor(&buf, &Predictor{}); err == nil {
+		t.Fatal("empty predictor accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"algorithm":"Mystery","skin":{},"screen":{}}`)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"algorithm":"REPTree","skin":{"root":null},"screen":{"root":null}}`)); err == nil {
+		t.Fatal("rootless tree accepted")
+	}
+}
+
+func TestUnfittedModelsRefuseToMarshal(t *testing.T) {
+	var buf bytes.Buffer
+	p := &Predictor{SkinModel: &mlp.Model{}, ScreenModel: &mlp.Model{}}
+	if err := SavePredictor(&buf, p); err == nil {
+		t.Fatal("unfitted MLP marshalled")
+	}
+}

@@ -1,0 +1,112 @@
+// Package core implements the paper's contribution: the run-time skin and
+// screen temperature predictor learned from on-device observables, and the
+// User-specific Skin Temperature-Aware (USTA) DVFS controller that uses it
+// to keep the device below a per-user comfort limit.
+//
+// The division of labour mirrors the paper exactly:
+//
+//   - Training time: run workloads under the stock governor on a phone
+//     instrumented with thermistors, log {CPU temp, battery temp, CPU
+//     utilization, CPU frequency} plus the thermistor ground truth
+//     (CollectCorpus), and fit a regressor per target (Train).
+//   - Run time: every 3 seconds, assemble the same feature tuple from the
+//     logging app, predict the skin temperature, and clamp the maximum CPU
+//     frequency by how close the prediction is to the user's limit (USTA).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+	"repro/internal/sensors"
+	"repro/internal/workload"
+)
+
+// Target selects which thermistor the model predicts.
+type Target int
+
+// Prediction targets.
+const (
+	SkinTarget Target = iota
+	ScreenTarget
+)
+
+// String returns the target name.
+func (t Target) String() string {
+	if t == ScreenTarget {
+		return "screen"
+	}
+	return "skin"
+}
+
+// DatasetFromRecords converts logger records into an ml.Dataset with the
+// paper's canonical feature order and the chosen thermistor as the label.
+func DatasetFromRecords(recs []sensors.Record, target Target) *ml.Dataset {
+	d := ml.NewDataset(sensors.FeatureNames...)
+	for _, r := range recs {
+		y := r.SkinTempC
+		if target == ScreenTarget {
+			y = r.ScreenTempC
+		}
+		d.Add(r.Features(), y)
+	}
+	return d
+}
+
+// CollectCorpus runs each workload on a fresh phone under the stock
+// ondemand governor and returns the concatenated training log. maxPerRun
+// truncates each workload (<= 0 runs them in full); tests use short
+// truncations, the paper-scale experiments run everything.
+func CollectCorpus(cfg device.Config, loads []workload.Workload, maxPerRun float64) []sensors.Record {
+	var corpus []sensors.Record
+	for i, w := range loads {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i+1)*1000
+		p := device.MustNew(runCfg, nil) // nil governor defaults to ondemand
+		res := p.Run(w, maxPerRun)
+		corpus = append(corpus, res.Records...)
+	}
+	return corpus
+}
+
+// Predictor predicts skin and screen temperatures from a logger record.
+type Predictor struct {
+	// SkinModel and ScreenModel are trained regressors over the canonical
+	// feature tuple.
+	SkinModel   ml.Regressor
+	ScreenModel ml.Regressor
+}
+
+// Train fits a predictor on the corpus using the given model factory (one
+// fresh model per target). Passing nil uses REPTree — the paper's choice
+// for the run-time implementation ("REPtree builds faster than M5P and
+// does not cause halting").
+func Train(corpus []sensors.Record, factory func() ml.Regressor) (*Predictor, error) {
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("core: empty training corpus")
+	}
+	if factory == nil {
+		factory = func() ml.Regressor { return tree.New(1) }
+	}
+	skin := factory()
+	if err := skin.Fit(DatasetFromRecords(corpus, SkinTarget)); err != nil {
+		return nil, fmt.Errorf("core: training skin model: %w", err)
+	}
+	screen := factory()
+	if err := screen.Fit(DatasetFromRecords(corpus, ScreenTarget)); err != nil {
+		return nil, fmt.Errorf("core: training screen model: %w", err)
+	}
+	return &Predictor{SkinModel: skin, ScreenModel: screen}, nil
+}
+
+// PredictSkin returns the predicted back-cover temperature for a record.
+func (p *Predictor) PredictSkin(r sensors.Record) float64 {
+	return p.SkinModel.Predict(r.Features())
+}
+
+// PredictScreen returns the predicted screen temperature for a record.
+func (p *Predictor) PredictScreen(r sensors.Record) float64 {
+	return p.ScreenModel.Predict(r.Features())
+}

@@ -1,0 +1,76 @@
+package core
+
+// Online recalibration — the "future work" extension sketched in
+// DESIGN.md §8. A phone that still carries its calibration thermistors
+// (e.g. a lab device, or a unit with a factory-calibrated case sensor) can
+// refit the predictor from its own logging stream, adapting to conditions
+// the original training corpus never saw: a different ambient, a new case,
+// aged thermal paste. The controller semantics are unchanged — the
+// recalibrator is a drop-in device.Controller that wraps USTA.
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/ml"
+)
+
+// Recalibrator wraps USTA, periodically retraining its predictor from the
+// phone's thermistor-instrumented log.
+type Recalibrator struct {
+	// USTA is the wrapped controller; its Pred is replaced on retrain.
+	USTA *USTA
+	// RetrainEverySec is the retraining interval in run time.
+	RetrainEverySec float64
+	// MinRecords gates retraining until enough log has accumulated.
+	MinRecords int
+	// Factory builds the refitted models (nil = REPTree).
+	Factory func() ml.Regressor
+
+	// Retrains counts completed refits.
+	Retrains int
+
+	lastRetrain float64
+}
+
+var _ device.Controller = (*Recalibrator)(nil)
+
+// NewRecalibrator wraps u with 5-minute retraining.
+func NewRecalibrator(u *USTA) *Recalibrator {
+	return &Recalibrator{USTA: u, RetrainEverySec: 300, MinRecords: 120}
+}
+
+// Name implements device.Controller.
+func (r *Recalibrator) Name() string {
+	return fmt.Sprintf("recal(%s)", r.USTA.Name())
+}
+
+// PeriodSec implements device.Controller (delegates to USTA's cadence).
+func (r *Recalibrator) PeriodSec() float64 { return r.USTA.PeriodSec() }
+
+// Reset implements device.Controller.
+func (r *Recalibrator) Reset() {
+	r.USTA.Reset()
+	r.Retrains = 0
+	r.lastRetrain = 0
+}
+
+// Act implements device.Controller: retrain when due, then delegate.
+func (r *Recalibrator) Act(p *device.Phone) {
+	every := r.RetrainEverySec
+	if every <= 0 {
+		every = 300
+	}
+	if p.Time()-r.lastRetrain >= every {
+		if recs := p.Records(); len(recs) >= r.MinRecords {
+			if pred, err := Train(recs, r.Factory); err == nil {
+				r.USTA.Pred = pred
+				r.Retrains++
+			}
+			// A failed refit (should not happen with a non-empty log)
+			// keeps the previous predictor — never run uncontrolled.
+			r.lastRetrain = p.Time()
+		}
+	}
+	r.USTA.Act(p)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/ml"
+	"repro/internal/workload"
+)
+
+func TestRecalibratorRetrainsOnSchedule(t *testing.T) {
+	pred := predictor(t)
+	u := NewUSTA(pred, 37)
+	r := NewRecalibrator(u)
+	r.RetrainEverySec = 120
+	r.MinRecords = 60
+
+	phone := device.MustNew(device.DefaultConfig(), nil)
+	phone.SetController(r)
+	phone.Run(workload.Skype(31), 600)
+
+	// 600 s with a 120 s interval: first retrain at ~120 s -> ~4-5 total.
+	if r.Retrains < 3 || r.Retrains > 6 {
+		t.Fatalf("retrains = %d, want ≈4-5 in 600 s at 120 s interval", r.Retrains)
+	}
+}
+
+func TestRecalibratorAdaptsToAmbientShift(t *testing.T) {
+	// A predictor trained at 25 °C ambient mis-estimates on a 33 °C day.
+	// The recalibrating controller, refitting from the live log, must end
+	// the run with a lower prediction error than the frozen controller.
+	basePred := predictor(t) // trained at 25 °C
+
+	hotCfg := device.DefaultConfig()
+	hotCfg.Thermal.Ambient = 33
+
+	lastErr := func(p *device.Phone, pred *Predictor) float64 {
+		recs := p.Records()
+		if len(recs) < 100 {
+			t.Fatal("not enough records")
+		}
+		var mae float64
+		n := 0
+		for _, r := range recs[len(recs)-100:] {
+			mae += math.Abs(pred.PredictSkin(r) - r.SkinTempC)
+			n++
+		}
+		return mae / float64(n)
+	}
+
+	frozenPhone := device.MustNew(hotCfg, nil)
+	frozen := NewUSTA(basePred, 40)
+	frozenPhone.SetController(frozen)
+	frozenPhone.Run(workload.Skype(32), 1200)
+	frozenErr := lastErr(frozenPhone, frozen.Pred)
+
+	recalPhone := device.MustNew(hotCfg, nil)
+	ru := NewUSTA(basePred, 40)
+	recal := NewRecalibrator(ru)
+	recal.RetrainEverySec = 180
+	recalPhone.SetController(recal)
+	recalPhone.Run(workload.Skype(32), 1200)
+	recalErr := lastErr(recalPhone, ru.Pred)
+
+	if recal.Retrains == 0 {
+		t.Fatal("recalibrator never retrained")
+	}
+	if recalErr >= frozenErr {
+		t.Fatalf("recalibration did not improve prediction on an ambient shift: %.3f vs frozen %.3f °C MAE",
+			recalErr, frozenErr)
+	}
+}
+
+func TestRecalibratorNameAndReset(t *testing.T) {
+	u := NewUSTA(nil, 37)
+	r := NewRecalibrator(u)
+	if r.Name() == "" || r.PeriodSec() != u.PeriodSec() {
+		t.Fatal("delegation broken")
+	}
+	r.Retrains = 3
+	r.lastRetrain = 100
+	r.Reset()
+	if r.Retrains != 0 || r.lastRetrain != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// nanModel always predicts NaN — the failure-injection stub.
+type nanModel struct{}
+
+func (nanModel) Name() string              { return "nan" }
+func (nanModel) Fit(*ml.Dataset) error     { return nil }
+func (nanModel) Predict([]float64) float64 { return math.NaN() }
+
+func TestUSTANaNGuardHoldsLastClamp(t *testing.T) {
+	phone := device.MustNew(device.DefaultConfig(), nil)
+	u := NewUSTA(&Predictor{SkinModel: nanModel{}, ScreenModel: nanModel{}}, 37)
+	phone.SetController(u)
+	res := phone.Run(workload.Skype(33), 120)
+	// The defective model must not have crashed the run nor moved the
+	// clamp off the reset position.
+	if res.MaxSkinC <= 0 {
+		t.Fatal("run produced no data")
+	}
+	if phone.CPU().MaxLevel() != phone.CPU().NumLevels()-1 {
+		t.Fatalf("NaN predictions moved the clamp to %d", phone.CPU().MaxLevel())
+	}
+	if u.Activations != 0 {
+		t.Fatalf("NaN predictions counted as %d activations", u.Activations)
+	}
+}
+
+func TestUSTASelectivePredictionSkipsScreen(t *testing.T) {
+	pred := predictor(t)
+	phone := device.MustNew(device.DefaultConfig(), nil)
+	u := NewUSTA(pred, 37) // ScreenLimitC unset -> screen model never runs
+	phone.SetController(u)
+	phone.Run(workload.Skype(34), 120)
+	if u.SkinPredictions == 0 {
+		t.Fatal("no skin predictions")
+	}
+	if u.ScreenPredictions != 0 {
+		t.Fatalf("screen model ran %d times with no screen limit configured", u.ScreenPredictions)
+	}
+
+	phone2 := device.MustNew(device.DefaultConfig(), nil)
+	u2 := NewUSTA(pred, 37)
+	u2.ScreenLimitC = 34
+	phone2.SetController(u2)
+	phone2.Run(workload.Skype(34), 120)
+	if u2.ScreenPredictions == 0 {
+		t.Fatal("screen model never ran with a screen limit configured")
+	}
+}

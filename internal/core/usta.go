@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// Policy maps the margin to the user's limit (limit − predicted skin, in
+// °C) and the top DVFS level to a maximum-level clamp. Policies enable the
+// controller-shape ablations; the paper's controller is LadderPolicy.
+type Policy func(diffC float64, top int) int
+
+// LadderPolicy is the paper's §III-B laddered clamp:
+//
+//	diff > 2.0 °C        → no clamp (baseline governor runs free)
+//	1.0 < diff ≤ 2.0 °C  → maximum frequency lowered by one level
+//	0.5 < diff ≤ 1.0 °C  → maximum frequency lowered by two levels
+//	diff ≤ 0.5 °C        → minimum frequency level
+func LadderPolicy(diffC float64, top int) int {
+	return ladder(diffC, top, 2.0)
+}
+
+// MarginLadder generalizes LadderPolicy to an arbitrary activation margin:
+// the ladder rungs sit at margin, margin/2 and margin/4 (the paper's 2, 1,
+// 0.5 °C correspond to margin = 2). Used by the activation-margin
+// ablation.
+func MarginLadder(marginC float64) Policy {
+	if marginC <= 0 {
+		marginC = 2.0
+	}
+	return func(diffC float64, top int) int {
+		return ladder(diffC, top, marginC)
+	}
+}
+
+func ladder(diffC float64, top int, margin float64) int {
+	switch {
+	case diffC > margin:
+		return top
+	case diffC > margin/2:
+		return top - 1
+	case diffC > margin/4:
+		return top - 2
+	default:
+		return 0
+	}
+}
+
+// HardPolicy is the single-step ablation: full speed outside the activation
+// margin, minimum frequency inside it.
+func HardPolicy(diffC float64, top int) int {
+	if diffC > 2.0 {
+		return top
+	}
+	return 0
+}
+
+// ProportionalPolicy is the continuous ablation: the clamp scales linearly
+// from the top level (diff ≥ 2 °C) down to the bottom (diff ≤ 0).
+func ProportionalPolicy(diffC float64, top int) int {
+	if diffC >= 2.0 {
+		return top
+	}
+	if diffC <= 0 {
+		return 0
+	}
+	return int(float64(top) * diffC / 2.0)
+}
+
+// USTA is the User-specific Skin Temperature-Aware DVFS controller. It
+// implements device.Controller: every Period seconds it predicts the skin
+// temperature from the latest logger record and clamps the CPU's maximum
+// frequency according to the Policy. Between activations the baseline
+// governor operates normally (under the standing clamp).
+type USTA struct {
+	// Pred supplies skin (and optionally screen) predictions.
+	Pred *Predictor
+	// SkinLimitC is the user's comfort limit for the back cover.
+	SkinLimitC float64
+	// ScreenLimitC, when positive, additionally clamps on the predicted
+	// screen temperature (the paper suggests screen prediction during
+	// calls; this is the extension discussed in §IV-A). Zero disables it.
+	ScreenLimitC float64
+	// Period is the prediction interval in seconds (paper: 3 s).
+	Period float64
+	// Policy maps margin to clamp; nil means LadderPolicy.
+	Policy Policy
+
+	// Activations counts the controller invocations that imposed a clamp
+	// below the top level (i.e. USTA actually intervened).
+	Activations int
+	// Invocations counts all Act calls that had a record to act on.
+	Invocations int
+	// SkinPredictions / ScreenPredictions count model evaluations, the
+	// §IV-A overhead currency (the paper's selective-prediction suggestion
+	// is exactly "skip the screen model when its limit is not configured",
+	// which this controller implements).
+	SkinPredictions   int
+	ScreenPredictions int
+}
+
+var _ device.Controller = (*USTA)(nil)
+
+// NewUSTA returns the paper-configured controller: 3 s period, ladder
+// policy, skin-only.
+func NewUSTA(pred *Predictor, skinLimitC float64) *USTA {
+	return &USTA{Pred: pred, SkinLimitC: skinLimitC, Period: 3}
+}
+
+// Name implements device.Controller.
+func (u *USTA) Name() string {
+	return fmt.Sprintf("usta(limit=%.1f)", u.SkinLimitC)
+}
+
+// PeriodSec implements device.Controller.
+func (u *USTA) PeriodSec() float64 {
+	if u.Period <= 0 {
+		return 3
+	}
+	return u.Period
+}
+
+// Reset implements device.Controller.
+func (u *USTA) Reset() {
+	u.Activations = 0
+	u.Invocations = 0
+	u.SkinPredictions = 0
+	u.ScreenPredictions = 0
+}
+
+// Act implements device.Controller: predict, compute the margin, clamp.
+func (u *USTA) Act(p *device.Phone) {
+	rec, ok := p.LatestRecord()
+	if !ok {
+		return // logging app has not produced a record yet
+	}
+	u.Invocations++
+	pol := u.Policy
+	if pol == nil {
+		pol = LadderPolicy
+	}
+	top := p.CPU().NumLevels() - 1
+
+	skin := u.Pred.PredictSkin(rec)
+	u.SkinPredictions++
+	if math.IsNaN(skin) || math.IsInf(skin, 0) {
+		// A defective model must never unclamp a hot device or pin a cool
+		// one; hold the previous decision.
+		return
+	}
+	diff := u.SkinLimitC - skin
+	clamp := pol(diff, top)
+
+	if u.ScreenLimitC > 0 {
+		screen := u.Pred.PredictScreen(rec)
+		u.ScreenPredictions++
+		if !math.IsNaN(screen) && !math.IsInf(screen, 0) {
+			if c := pol(u.ScreenLimitC-screen, top); c < clamp {
+				clamp = c
+			}
+		}
+	}
+	if clamp < 0 {
+		clamp = 0
+	}
+	if clamp < top {
+		u.Activations++
+	}
+	p.CPU().SetMaxLevel(clamp)
+}

@@ -1,0 +1,403 @@
+// Package device assembles the simulated handset: the SoC model, the phone
+// thermal network, the sensor/logging chain, a cpufreq governor, and an
+// optional thermal controller (USTA) that manipulates the maximum-frequency
+// clamp. It advances everything on a fixed-step engine with per-component
+// periods that mirror the paper's setup: 50 ms thermal integration, 100 ms
+// governor sampling, 1 s logging, and a controller period of the caller's
+// choosing (USTA uses 3 s).
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/governor"
+	"repro/internal/sensors"
+	"repro/internal/soc"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Controller is a thermal-management hook driven at its own period. USTA
+// (package core) implements it; a nil controller reproduces the stock
+// phone.
+type Controller interface {
+	// Name identifies the controller in reports.
+	Name() string
+	// PeriodSec is how often Act runs (USTA: every 3 s).
+	PeriodSec() float64
+	// Act observes the phone and may adjust the CPU's max-level clamp.
+	Act(p *Phone)
+	// Reset clears controller state between runs.
+	Reset()
+}
+
+// Config parameterizes a Phone.
+type Config struct {
+	Thermal thermal.PhoneConfig
+	SoC     soc.Config
+
+	// StepSec is the base simulation step (thermal integration). The
+	// governor and logger periods must be multiples of it.
+	StepSec float64
+	// GovernorPeriodSec is the cpufreq sampling period.
+	GovernorPeriodSec float64
+	// LoggerPeriodSec is the logging-app period.
+	LoggerPeriodSec float64
+	// RecordPeriodSec is how often a row is appended to the run trace.
+	RecordPeriodSec float64
+	// DisplayMaxWatts is display power at full brightness.
+	DisplayMaxWatts float64
+	// Battery parameterizes the pack model.
+	Battery battery.Config
+	// InitialSoC is the battery state of charge at power-on.
+	InitialSoC float64
+	// EnableHotplug runs an mpdecision-like core-hotplug policy alongside
+	// the frequency governor (off by default; the paper's experiments pin
+	// all four cores online).
+	EnableHotplug bool
+	// Seed drives every stochastic element (sensor noise).
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated Nexus-4-like device configuration.
+func DefaultConfig() Config {
+	return Config{
+		Thermal:           thermal.DefaultPhoneConfig(),
+		SoC:               soc.Nexus4Config(),
+		StepSec:           0.05,
+		GovernorPeriodSec: 0.1,
+		LoggerPeriodSec:   1.0,
+		RecordPeriodSec:   1.0,
+		DisplayMaxWatts:   0.55,
+		Battery:           battery.Nexus4Config(),
+		InitialSoC:        0.6,
+		Seed:              1,
+	}
+}
+
+// Phone is the assembled simulated handset.
+type Phone struct {
+	cfg     Config
+	net     *thermal.Network
+	nodes   thermal.PhoneNodes
+	cpu     *soc.CPU
+	gov     governor.Governor
+	ctrl    Controller
+	pack    *battery.Pack
+	hotplug *governor.Hotplug
+
+	cpuSensor   *sensors.Sensor
+	batSensor   *sensors.Sensor
+	skinTherm   *sensors.Sensor
+	screenTherm *sensors.Sensor
+	logger      *sensors.Logger
+
+	timeSec  float64
+	touching bool
+
+	// governor window accumulation
+	govWinUtil    float64
+	govWinSamples int
+	lastGovSec    float64
+	lastCtrlSec   float64
+
+	// instantaneous observables
+	utilNow float64
+}
+
+// New creates a phone with the given configuration and governor. The
+// governor may be nil, in which case ondemand is used.
+func New(cfg Config, gov governor.Governor) (*Phone, error) {
+	if cfg.StepSec <= 0 {
+		return nil, fmt.Errorf("device: StepSec must be positive, got %v", cfg.StepSec)
+	}
+	if cfg.GovernorPeriodSec < cfg.StepSec {
+		return nil, fmt.Errorf("device: governor period %v below step %v", cfg.GovernorPeriodSec, cfg.StepSec)
+	}
+	cpu, err := soc.New(cfg.SoC)
+	if err != nil {
+		return nil, err
+	}
+	pack, err := battery.New(cfg.Battery, cfg.InitialSoC)
+	if err != nil {
+		return nil, err
+	}
+	net, nodes := thermal.NewPhone(cfg.Thermal)
+	if gov == nil {
+		gov = governor.NewOndemand(freqTable(cfg.SoC))
+	}
+	p := &Phone{
+		cfg:         cfg,
+		net:         net,
+		nodes:       nodes,
+		cpu:         cpu,
+		gov:         gov,
+		pack:        pack,
+		cpuSensor:   sensors.BuiltinTempSensor(cfg.Seed + 11),
+		batSensor:   sensors.BuiltinTempSensor(cfg.Seed + 13),
+		skinTherm:   sensors.Thermistor(cfg.Seed + 17),
+		screenTherm: sensors.Thermistor(cfg.Seed + 19),
+		logger:      sensors.NewLogger(cfg.LoggerPeriodSec),
+	}
+	if cfg.EnableHotplug {
+		p.hotplug = governor.NewHotplug(cfg.SoC.NumCores)
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on error; for hard-coded configurations.
+func MustNew(cfg Config, gov governor.Governor) *Phone {
+	p, err := New(cfg, gov)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func freqTable(cfg soc.Config) []float64 {
+	fs := make([]float64, len(cfg.OPPs))
+	for i, o := range cfg.OPPs {
+		fs[i] = o.FreqMHz
+	}
+	return fs
+}
+
+// SetController installs (or clears, with nil) the thermal controller.
+func (p *Phone) SetController(c Controller) {
+	p.ctrl = c
+	p.lastCtrlSec = p.timeSec
+}
+
+// Governor returns the active cpufreq governor.
+func (p *Phone) Governor() governor.Governor { return p.gov }
+
+// CPU exposes the SoC model (the controller uses SetMaxLevel on it).
+func (p *Phone) CPU() *soc.CPU { return p.cpu }
+
+// Battery exposes the pack model.
+func (p *Phone) Battery() *battery.Pack { return p.pack }
+
+// Network exposes the thermal network (read-mostly; tests use it).
+func (p *Phone) Network() *thermal.Network { return p.net }
+
+// Nodes returns the thermal node handles.
+func (p *Phone) Nodes() thermal.PhoneNodes { return p.nodes }
+
+// Time returns the current simulation time in seconds.
+func (p *Phone) Time() float64 { return p.timeSec }
+
+// LatestRecord returns the most recent logger record, if any. This is the
+// only observable interface the run-time predictor is allowed to use — it
+// contains exactly the paper's feature tuple.
+func (p *Phone) LatestRecord() (sensors.Record, bool) { return p.logger.Latest() }
+
+// Records returns the full log collected so far.
+func (p *Phone) Records() []sensors.Record { return p.logger.Records() }
+
+// SkinTempC returns the physical back-cover-midsection temperature. Ground
+// truth — for evaluation only, never for control.
+func (p *Phone) SkinTempC() float64 { return p.net.Temp(p.nodes.CoverMid) }
+
+// ScreenTempC returns the physical mid-screen temperature (ground truth).
+func (p *Phone) ScreenTempC() float64 { return p.net.Temp(p.nodes.Screen) }
+
+// DieTempC returns the physical die temperature (ground truth).
+func (p *Phone) DieTempC() float64 { return p.net.Temp(p.nodes.Die) }
+
+// RunResult aggregates one workload execution.
+type RunResult struct {
+	Workload    string
+	Governor    string
+	Ctrl        string
+	DurSec      float64
+	Trace       *trace.TimeSeries
+	Records     []sensors.Record
+	MaxSkinC    float64
+	MaxScreenC  float64
+	MaxDieC     float64
+	MaxBatteryC float64
+	AvgFreqMHz  float64
+	AvgUtil     float64
+	EnergyJ     float64
+	// WorkDone / WorkDemanded are in core-MHz·s (≈ Mcycles).
+	WorkDone     float64
+	WorkDemanded float64
+	// StartSoC / EndSoC are the battery state of charge at the run
+	// boundaries.
+	StartSoC float64
+	EndSoC   float64
+}
+
+// Slowdown returns the fraction of demanded work left unserved (0 = no
+// performance loss).
+func (r *RunResult) Slowdown() float64 {
+	if r.WorkDemanded <= 0 {
+		return 0
+	}
+	return 1 - r.WorkDone/r.WorkDemanded
+}
+
+// Run executes the workload for min(dur, workload duration) seconds and
+// returns the aggregated result. Pass dur <= 0 to run the workload's full
+// duration.
+func (p *Phone) Run(w workload.Workload, dur float64) *RunResult {
+	if dur <= 0 || dur > w.Duration() {
+		dur = w.Duration()
+	}
+	res := &RunResult{
+		Workload: w.Name(),
+		Governor: p.gov.Name(),
+		DurSec:   dur,
+		Trace: trace.New(
+			"skin_c", "screen_c", "die_c", "battery_c",
+			"freq_mhz", "util", "max_level",
+		),
+	}
+	if p.ctrl != nil {
+		res.Ctrl = p.ctrl.Name()
+	}
+	res.MaxSkinC = p.SkinTempC()
+	res.MaxScreenC = p.ScreenTempC()
+	res.MaxDieC = p.DieTempC()
+	res.MaxBatteryC = p.net.Temp(p.nodes.Battery)
+	res.StartSoC = p.pack.SoC()
+
+	dt := p.cfg.StepSec
+	steps := int(math.Round(dur / dt))
+	var freqSum, utilSum float64
+	lastRecord := -math.MaxFloat64
+	for i := 0; i < steps; i++ {
+		p.step(w, dt)
+
+		freqSum += p.cpu.FreqMHz()
+		utilSum += p.utilNow
+		res.EnergyJ += p.totalPowerW() * dt
+		capNow := p.cpu.CapacityMHz()
+		demand := w.At(p.timeSec-dt).CPUFrac * p.cpu.MaxCapacityMHz()
+		res.WorkDemanded += demand * dt
+		res.WorkDone += math.Min(demand, capNow) * dt
+
+		if s := p.SkinTempC(); s > res.MaxSkinC {
+			res.MaxSkinC = s
+		}
+		if s := p.ScreenTempC(); s > res.MaxScreenC {
+			res.MaxScreenC = s
+		}
+		if s := p.DieTempC(); s > res.MaxDieC {
+			res.MaxDieC = s
+		}
+		if s := p.net.Temp(p.nodes.Battery); s > res.MaxBatteryC {
+			res.MaxBatteryC = s
+		}
+		if p.timeSec-lastRecord+1e-9 >= p.cfg.RecordPeriodSec {
+			res.Trace.Append(p.timeSec,
+				p.SkinTempC(), p.ScreenTempC(), p.DieTempC(), p.net.Temp(p.nodes.Battery),
+				p.cpu.FreqMHz(), p.utilNow, float64(p.cpu.MaxLevel()),
+			)
+			lastRecord = p.timeSec
+		}
+	}
+	res.AvgFreqMHz = freqSum / float64(steps)
+	res.AvgUtil = utilSum / float64(steps)
+	res.Records = p.logger.Records()
+	res.EndSoC = p.pack.SoC()
+	return res
+}
+
+// step advances one base tick.
+func (p *Phone) step(w workload.Workload, dt float64) {
+	sample := w.At(p.timeSec)
+
+	// 1. Demand → utilization at the current operating point.
+	demand := sample.CPUFrac * p.cpu.MaxCapacityMHz()
+	capacity := p.cpu.CapacityMHz()
+	util := 0.0
+	if capacity > 0 {
+		util = demand / capacity
+	}
+	if util > 1 {
+		util = 1
+	}
+	p.utilNow = util
+
+	// 2. Power injection. Battery heat comes from the pack model: a
+	// connected charger (ChargeWatts > 0 signals one, scaled by the
+	// workload's charger duty) dissipates CC/CV inefficiency heat; on
+	// discharge the pack adds its I²R losses — the AP↔battery thermal
+	// coupling of Xie et al. (ICCAD'13), which the paper cites.
+	dieT := p.net.Temp(p.nodes.Die)
+	cpuPower := p.cpu.Power(util, dieT)
+	gpuPower := p.cpu.GPUPower(sample.GPULoad)
+	auxPower := sample.AuxWatts
+	displayPower := sample.Display * p.cfg.DisplayMaxWatts
+
+	var batteryHeat float64
+	if sample.ChargeWatts > 0 {
+		heat, _ := p.pack.Charge(dt)
+		// The workload's ChargeWatts acts as a charger-duty scale relative
+		// to the pack's nominal CC heat, so profiles can model slow/fast
+		// chargers without knowing pack internals.
+		batteryHeat = heat * sample.ChargeWatts / 0.9
+	} else {
+		batteryHeat = p.pack.Discharge(cpuPower+gpuPower+auxPower+displayPower, dt)
+	}
+
+	p.net.SetPower(p.nodes.Die, cpuPower)
+	p.net.SetPower(p.nodes.Pkg, gpuPower)
+	p.net.SetPower(p.nodes.PCB, auxPower)
+	p.net.SetPower(p.nodes.Battery, batteryHeat)
+	p.net.SetPower(p.nodes.Screen, displayPower)
+
+	// 3. Hand contact (palm coupling + blocked convection).
+	if sample.Touch != p.touching {
+		p.touching = sample.Touch
+		thermal.ApplyTouch(p.net, p.nodes, p.cfg.Thermal, p.touching)
+	}
+
+	// 4. Thermal integration.
+	p.net.Step(dt)
+	p.timeSec += dt
+
+	// 5. Sensors + logging.
+	cpuC := p.cpuSensor.Read(p.net.Temp(p.nodes.Die), dt)
+	batC := p.batSensor.Read(p.net.Temp(p.nodes.Battery), dt)
+	skinC := p.skinTherm.Read(p.net.Temp(p.nodes.CoverMid), dt)
+	screenC := p.screenTherm.Read(p.net.Temp(p.nodes.Screen), dt)
+	p.logger.Observe(p.timeSec, util, p.cpu.FreqMHz(), cpuC, batC, skinC, screenC)
+
+	// 6. Governor sampling window.
+	p.govWinUtil += util
+	p.govWinSamples++
+	if p.timeSec-p.lastGovSec+1e-9 >= p.cfg.GovernorPeriodSec {
+		avg := p.govWinUtil / float64(p.govWinSamples)
+		lvl := p.gov.NextLevel(governor.State{
+			TimeSec:      p.timeSec,
+			Util:         avg,
+			CurrentLevel: p.cpu.Level(),
+		})
+		p.cpu.SetLevel(lvl)
+		if p.hotplug != nil {
+			p.cpu.SetOnlineCores(p.hotplug.NextOnline(p.timeSec, avg, p.cpu.OnlineCores()))
+		}
+		p.govWinUtil, p.govWinSamples = 0, 0
+		p.lastGovSec = p.timeSec
+	}
+
+	// 7. Thermal controller (USTA).
+	if p.ctrl != nil && p.timeSec-p.lastCtrlSec+1e-9 >= p.ctrl.PeriodSec() {
+		p.ctrl.Act(p)
+		p.lastCtrlSec = p.timeSec
+	}
+}
+
+// totalPowerW reports the current total dissipation for energy accounting.
+func (p *Phone) totalPowerW() float64 {
+	var s float64
+	for id := thermal.NodeID(0); int(id) < p.net.NumNodes(); id++ {
+		s += p.net.Power(id)
+	}
+	return s
+}

@@ -1,0 +1,165 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/governor"
+	"repro/internal/workload"
+)
+
+// rogueGovernor returns wildly out-of-range levels; the device must
+// saturate them through the CPU instead of crashing or mis-indexing.
+type rogueGovernor struct{ calls int }
+
+func (g *rogueGovernor) Name() string { return "rogue" }
+func (g *rogueGovernor) Reset()       {}
+func (g *rogueGovernor) NextLevel(governor.State) int {
+	g.calls++
+	if g.calls%2 == 0 {
+		return -99
+	}
+	return 99
+}
+
+func TestRogueGovernorIsSaturated(t *testing.T) {
+	g := &rogueGovernor{}
+	p := MustNew(DefaultConfig(), g)
+	res := p.Run(workload.Skype(1), 30)
+	for i, f := range res.Trace.Lookup("freq_mhz").Values {
+		if f < 384 || f > 1512 {
+			t.Fatalf("row %d: frequency %v outside the OPP table", i, f)
+		}
+	}
+	if g.calls == 0 {
+		t.Fatal("governor never consulted")
+	}
+}
+
+func TestOverdemandedWorkloadClampsUtil(t *testing.T) {
+	// CPUFrac 2.0 demands twice the hardware's capacity.
+	w := workload.New("overdemand", 1, workload.Phase{Name: "x", Dur: 60, CPU: 2.0})
+	p := MustNew(DefaultConfig(), nil)
+	res := p.Run(w, 0)
+	if res.AvgUtil < 0.95 || res.AvgUtil > 1.0 {
+		t.Fatalf("avg util = %v want ≈1", res.AvgUtil)
+	}
+	if math.IsNaN(res.MaxSkinC) || res.MaxSkinC > 60 {
+		t.Fatalf("overdemand produced implausible skin %v", res.MaxSkinC)
+	}
+	if res.Slowdown() < 0.4 {
+		t.Fatalf("serving half the demand must show as slowdown, got %v", res.Slowdown())
+	}
+}
+
+// stallController takes no action; verifies a nil-op controller changes
+// nothing relative to no controller at all.
+type stallController struct{}
+
+func (stallController) Name() string       { return "stall" }
+func (stallController) PeriodSec() float64 { return 3 }
+func (stallController) Act(*Phone)         {}
+func (stallController) Reset()             {}
+
+func TestNoopControllerMatchesBaseline(t *testing.T) {
+	w := workload.Skype(5)
+	a := MustNew(DefaultConfig(), nil).Run(w, 120)
+	b := MustNew(DefaultConfig(), nil)
+	b.SetController(stallController{})
+	rb := b.Run(w, 120)
+	if a.MaxSkinC != rb.MaxSkinC || a.AvgFreqMHz != rb.AvgFreqMHz {
+		t.Fatalf("no-op controller changed the run: %v/%v vs %v/%v",
+			a.MaxSkinC, a.AvgFreqMHz, rb.MaxSkinC, rb.AvgFreqMHz)
+	}
+}
+
+func TestExtremeAmbientStaysFinite(t *testing.T) {
+	for _, amb := range []float64{-10, 0, 45, 60} {
+		cfg := DefaultConfig()
+		cfg.Thermal.Ambient = amb
+		p := MustNew(cfg, nil)
+		res := p.Run(workload.Skype(2), 120)
+		if math.IsNaN(res.MaxSkinC) || math.IsInf(res.MaxSkinC, 0) {
+			t.Fatalf("ambient %v: non-finite skin", amb)
+		}
+		if res.MaxSkinC < amb-1 {
+			t.Fatalf("ambient %v: skin %v below ambient with power applied", amb, res.MaxSkinC)
+		}
+	}
+}
+
+func TestTinyAndCoarseStepsAgree(t *testing.T) {
+	// The fixed-step engine must be insensitive to the base step within
+	// reason: a 10 ms step and a 100 ms step land within a tenth of a
+	// degree on a deterministic (noise-free sensors don't exist here, so
+	// compare physical peaks which do not depend on sensor noise).
+	w := workload.SquareWave(1, 20, 0.5, 0.9, 0.1, 300)
+	fine := DefaultConfig()
+	fine.StepSec = 0.01
+	fine.GovernorPeriodSec = 0.1
+	coarse := DefaultConfig()
+	coarse.StepSec = 0.1
+	coarse.GovernorPeriodSec = 0.1
+	a := MustNew(fine, nil).Run(w, 0)
+	b := MustNew(coarse, nil).Run(w, 0)
+	if math.Abs(a.MaxSkinC-b.MaxSkinC) > 0.15 {
+		t.Fatalf("step-size sensitivity: %.3f vs %.3f", a.MaxSkinC, b.MaxSkinC)
+	}
+}
+
+func TestGovernorPeriodMultipleOfStepEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepSec = 0.05
+	cfg.GovernorPeriodSec = 0.05 // equal is allowed
+	if _, err := New(cfg, nil); err != nil {
+		t.Fatalf("equal periods rejected: %v", err)
+	}
+}
+
+func TestHotplugSavesEnergyOnLightLoad(t *testing.T) {
+	// A light load with hotplug gates cores (less leakage + idle overhead);
+	// performance must not suffer because one core amply serves the demand.
+	w := workload.YouTube(6)
+	off := DefaultConfig()
+	on := DefaultConfig()
+	on.EnableHotplug = true
+	rOff := MustNew(off, nil).Run(w, 600)
+	rOn := MustNew(on, nil).Run(w, 600)
+	if rOn.EnergyJ >= rOff.EnergyJ {
+		t.Fatalf("hotplug did not save energy on a light load: %.0f vs %.0f J", rOn.EnergyJ, rOff.EnergyJ)
+	}
+	if rOn.Slowdown() > rOff.Slowdown()+0.02 {
+		t.Fatalf("hotplug hurt a light load: slowdown %.3f vs %.3f", rOn.Slowdown(), rOff.Slowdown())
+	}
+}
+
+func TestHotplugRestoresCapacityUnderHeavyLoad(t *testing.T) {
+	// A saturating load must pull every core back online.
+	w := workload.SquareWave(2, 10, 1.0, 0.95, 0.95, 300)
+	cfg := DefaultConfig()
+	cfg.EnableHotplug = true
+	p := MustNew(cfg, nil)
+	res := p.Run(w, 0)
+	if p.CPU().OnlineCores() != 4 {
+		t.Fatalf("heavy load left %d cores online", p.CPU().OnlineCores())
+	}
+	if res.Slowdown() > 0.15 {
+		t.Fatalf("hotplug starved a heavy load: slowdown %.3f", res.Slowdown())
+	}
+}
+
+func TestInteractiveGovernorRunsEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	freqs := make([]float64, len(cfg.SoC.OPPs))
+	for i, o := range cfg.SoC.OPPs {
+		freqs[i] = o.FreqMHz
+	}
+	p := MustNew(cfg, governor.NewInteractive(freqs))
+	res := p.Run(workload.AnTuTuUserExp(3), 300)
+	if res.Governor != "interactive" {
+		t.Fatalf("governor = %q", res.Governor)
+	}
+	if res.AvgFreqMHz <= 384 || res.AvgFreqMHz >= 1512 {
+		t.Fatalf("bursty workload under interactive averaged %v MHz", res.AvgFreqMHz)
+	}
+}

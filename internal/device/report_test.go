@@ -1,0 +1,63 @@
+package device
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRunReportJSON(t *testing.T) {
+	p := MustNew(DefaultConfig(), nil)
+	res := p.Run(workload.YouTube(1), 60)
+
+	var sb strings.Builder
+	if err := res.WriteReportJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if rep.Workload != "youtube" || rep.Governor != "ondemand" {
+		t.Fatalf("report identity wrong: %+v", rep)
+	}
+	if rep.MaxSkinC != res.MaxSkinC || rep.EnergyJ != res.EnergyJ {
+		t.Fatal("report values diverge from the result")
+	}
+	if rep.Samples < 55 || rep.Samples > 65 {
+		t.Fatalf("samples = %d want ≈60", rep.Samples)
+	}
+	if rep.AvgFreqGHz <= 0 {
+		t.Fatal("avg freq missing")
+	}
+}
+
+func TestDailyMixEndToEnd(t *testing.T) {
+	w := workload.DailyMix(9)
+	if w.Duration() < 5000 {
+		t.Fatalf("daily mix too short: %v s", w.Duration())
+	}
+	cfg := DefaultConfig()
+	cfg.InitialSoC = 0.7
+	p := MustNew(cfg, nil)
+	res := p.Run(w, 0)
+	// The session includes a gaming + call stretch that must warm the
+	// phone well past idle, and a charging tail that must add charge.
+	if res.MaxSkinC < 33 {
+		t.Fatalf("daily mix peaked at only %.1f °C", res.MaxSkinC)
+	}
+	if res.EndSoC <= 0.3 {
+		t.Fatalf("battery fully drained: %v", res.EndSoC)
+	}
+	// Charging tail: the last trace samples must be cool-ish and screen-off
+	// (frequency parked).
+	freqs := res.Trace.Lookup("freq_mhz").Values
+	tail := freqs[len(freqs)-60:]
+	for _, f := range tail {
+		if f > 600 {
+			t.Fatalf("charging tail running at %v MHz", f)
+		}
+	}
+}

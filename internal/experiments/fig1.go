@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Fig1Row is one participant of the user study.
+type Fig1Row struct {
+	UserID       string
+	SkinLimitC   float64
+	ScreenLimitC float64
+	// CrossSec is when the back cover first exceeded the participant's
+	// limit during the AnTuTu Tester session (the moment the paper's
+	// participants reported unacceptable discomfort and stopped).
+	CrossSec float64
+	Crossed  bool
+}
+
+// Fig1Result reproduces Figure 1: the per-user comfort limits, plus the
+// discomfort-onset times our simulated session produces for them.
+type Fig1Result struct {
+	Rows []Fig1Row
+	// SessionMaxSkinC is the hottest skin temperature the study session
+	// reached.
+	SessionMaxSkinC float64
+}
+
+// RunFig1 reproduces the §III user study: all participants hold the phone
+// while the AnTuTu Tester hardware stressor runs; each reports discomfort
+// when the skin temperature crosses their personal limit.
+func RunFig1(pl *Pipeline) *Fig1Result {
+	w := workload.AnTuTuTester(uint64(pl.Cfg.Seed) + 600)
+	phone := pl.newPhone(61)
+	res := phone.Run(w, pl.Cfg.scaled(w.Duration()))
+
+	skin := res.Trace.Lookup("skin_c").Values
+	out := &Fig1Result{SessionMaxSkinC: res.MaxSkinC}
+	for _, u := range users.StudyPopulation() {
+		at, ok := trace.FirstCrossing(res.Trace.TimeSec, skin, u.SkinLimitC)
+		out.Rows = append(out.Rows, Fig1Row{
+			UserID:       u.ID,
+			SkinLimitC:   u.SkinLimitC,
+			ScreenLimitC: u.ScreenLimitC,
+			CrossSec:     at,
+			Crossed:      ok,
+		})
+	}
+	return out
+}
+
+// String renders the result as the harness table.
+func (r *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — per-user comfort limits (AnTuTu Tester session, peak skin %.1f °C)\n", r.SessionMaxSkinC)
+	fmt.Fprintf(&b, "%-5s %12s %13s %16s\n", "user", "skin limit", "screen limit", "discomfort at")
+	for _, row := range r.Rows {
+		when := "not reached"
+		if row.Crossed {
+			when = fmt.Sprintf("%.0f s", row.CrossSec)
+		}
+		fmt.Fprintf(&b, "%-5s %9.1f °C %10.1f °C %16s\n", row.UserID, row.SkinLimitC, row.ScreenLimitC, when)
+	}
+	return b.String()
+}

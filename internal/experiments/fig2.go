@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Fig2Row is one limit setting of Figure 2.
+type Fig2Row struct {
+	// Label is the participant label, or "default" for the 37 °C setting.
+	Label string
+	// LimitC is the configured USTA skin limit.
+	LimitC float64
+	// OverFrac is the fraction of the call spent above the limit.
+	OverFrac float64
+	// AvgFreqMHz is the resulting average CPU frequency.
+	AvgFreqMHz float64
+}
+
+// Fig2Result reproduces Figure 2: the percentage of a 30-minute Skype video
+// call spent above the comfort threshold for eleven USTA limit settings
+// (ten participants plus the default user; the paper reports 15.6 % for
+// the default).
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// RunFig2 executes the eleven USTA-controlled Skype calls.
+func RunFig2(pl *Pipeline) *Fig2Result {
+	type setting struct {
+		label string
+		limit float64
+	}
+	settings := make([]setting, 0, 11)
+	for _, u := range users.StudyPopulation() {
+		settings = append(settings, setting{u.ID, u.SkinLimitC})
+	}
+	settings = append(settings, setting{"default", users.DefaultLimitC})
+
+	out := &Fig2Result{}
+	for i, s := range settings {
+		w := workload.Skype(uint64(pl.Cfg.Seed) + 200)
+		phone, _ := pl.newUSTAPhone(s.limit, int64(100+i))
+		res := phone.Run(w, pl.Cfg.scaled(w.Duration()))
+		skin := res.Trace.Lookup("skin_c").Values
+		out.Rows = append(out.Rows, Fig2Row{
+			Label:      s.label,
+			LimitC:     s.limit,
+			OverFrac:   trace.FractionAbove(skin, s.limit),
+			AvgFreqMHz: res.AvgFreqMHz,
+		})
+	}
+	return out
+}
+
+// DefaultRow returns the default-user row.
+func (r *Fig2Result) DefaultRow() Fig2Row {
+	for _, row := range r.Rows {
+		if row.Label == "default" {
+			return row
+		}
+	}
+	return Fig2Row{}
+}
+
+// String renders the result as the harness table.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — % of 30-min Skype call above the USTA limit (paper: 15.6% for default)\n")
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s\n", "setting", "limit", "time over", "avg freq")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %7.1f °C %11.1f%% %8.0f MHz\n", row.Label, row.LimitC, row.OverFrac*100, row.AvgFreqMHz)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/m5p"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/tree"
+)
+
+// Fig3Row is one prediction model's cross-validated scores.
+type Fig3Row struct {
+	Model string
+	// SkinErrPct / ScreenErrPct are the paper's Eq. 1 average error rates.
+	SkinErrPct   float64
+	ScreenErrPct float64
+	// SkinGatedPct / ScreenGatedPct ignore sub-1 °C differences (§IV-A).
+	SkinGatedPct   float64
+	ScreenGatedPct float64
+	// SkinMAE / ScreenMAE in °C, for context.
+	SkinMAE   float64
+	ScreenMAE float64
+}
+
+// Fig3Result reproduces Figure 3: 10-fold cross-validated error rates for
+// the four prediction models on the pooled 13-benchmark corpus (a single
+// global model, as the paper stresses). Paper anchors: REPTree 0.95 %
+// skin / 0.86 % screen; M5P 0.96 % / 0.89 %, improving to 0.26 % / 0.17 %
+// with the 1 °C gate; linear regression and the MLP are visibly worse.
+type Fig3Result struct {
+	Rows      []Fig3Row
+	CorpusLen int
+}
+
+// RunFig3 trains and cross-validates all four models on both targets.
+func RunFig3(pl *Pipeline) *Fig3Result {
+	epochs := pl.Cfg.MLPEpochs
+	if epochs <= 0 {
+		epochs = 150
+	}
+	seed := pl.Cfg.Seed
+	factories := []struct {
+		name string
+		mk   func() ml.Regressor
+	}{
+		{"LinearRegression", func() ml.Regressor { return linreg.New() }},
+		{"MultilayerPerceptron", func() ml.Regressor {
+			m := mlp.New(seed)
+			m.Epochs = epochs
+			return m
+		}},
+		{"M5P", func() ml.Regressor { return m5p.New() }},
+		{"REPTree", func() ml.Regressor { return tree.New(seed) }},
+	}
+
+	corpus := pl.Corpus()
+	skinDS := core.DatasetFromRecords(corpus, core.SkinTarget)
+	screenDS := core.DatasetFromRecords(corpus, core.ScreenTarget)
+
+	out := &Fig3Result{CorpusLen: len(corpus)}
+	for _, f := range factories {
+		row := Fig3Row{Model: f.name}
+
+		exp, pred, err := ml.CrossValidate(f.mk, skinDS, 10, seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig3 %s skin CV: %v", f.name, err))
+		}
+		row.SkinErrPct = ml.ErrorRate(exp, pred)
+		row.SkinGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
+		row.SkinMAE = ml.MAE(exp, pred)
+
+		exp, pred, err = ml.CrossValidate(f.mk, screenDS, 10, seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fig3 %s screen CV: %v", f.name, err))
+		}
+		row.ScreenErrPct = ml.ErrorRate(exp, pred)
+		row.ScreenGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
+		row.ScreenMAE = ml.MAE(exp, pred)
+
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Row returns the named model's row.
+func (r *Fig3Result) Row(model string) (Fig3Row, bool) {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return Fig3Row{}, false
+}
+
+// String renders the result as the harness table.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — 10-fold CV error rates on the pooled corpus (%d records)\n", r.CorpusLen)
+	fmt.Fprintf(&b, "%-22s %10s %10s %12s %12s %9s %9s\n",
+		"model", "skin err%", "scrn err%", "skin gated%", "scrn gated%", "skin MAE", "scrn MAE")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %10.2f %10.2f %12.2f %12.2f %8.3f° %8.3f°\n",
+			row.Model, row.SkinErrPct, row.ScreenErrPct,
+			row.SkinGatedPct, row.ScreenGatedPct, row.SkinMAE, row.ScreenMAE)
+	}
+	b.WriteString("(paper: REPTree 0.95/0.86, M5P 0.96/0.89, gated M5P 0.26/0.17; LR and MLP worse)\n")
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Fig4Result reproduces Figure 4: recorded temperatures during a 30-minute
+// Skype video call under the baseline ondemand governor and under USTA
+// configured for the default user (37 °C). The paper's anchors: USTA holds
+// the skin near the limit while the baseline peaks 4.1 °C higher, with the
+// average frequency about a third lower.
+type Fig4Result struct {
+	Baseline *device.RunResult
+	USTA     *device.RunResult
+	LimitC   float64
+
+	// PeakDeltaC = baseline peak skin − USTA peak skin.
+	PeakDeltaC float64
+	// FreqReduction = 1 − USTA avg freq / baseline avg freq.
+	FreqReduction float64
+	// BaselineOverFrac / USTAOverFrac are fractions of the call above the
+	// limit.
+	BaselineOverFrac float64
+	USTAOverFrac     float64
+}
+
+// RunFig4 executes the two 30-minute Skype calls.
+func RunFig4(pl *Pipeline) *Fig4Result {
+	w := workload.Skype(uint64(pl.Cfg.Seed) + 400)
+	dur := pl.Cfg.scaled(w.Duration())
+
+	base := pl.newPhone(41).Run(w, dur)
+	ustaPhone, _ := pl.newUSTAPhone(users.DefaultLimitC, 42)
+	usta := ustaPhone.Run(w, dur)
+
+	return &Fig4Result{
+		Baseline:         base,
+		USTA:             usta,
+		LimitC:           users.DefaultLimitC,
+		PeakDeltaC:       base.MaxSkinC - usta.MaxSkinC,
+		FreqReduction:    1 - usta.AvgFreqMHz/base.AvgFreqMHz,
+		BaselineOverFrac: trace.FractionAbove(base.Trace.Lookup("skin_c").Values, users.DefaultLimitC),
+		USTAOverFrac:     trace.FractionAbove(usta.Trace.Lookup("skin_c").Values, users.DefaultLimitC),
+	}
+}
+
+// String renders the traces and summary for the harness.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — 30-min Skype call, baseline vs USTA (limit %.0f °C)\n", r.LimitC)
+	b.WriteString("baseline skin trace:\n")
+	b.WriteString(trace.Chart(r.Baseline.Trace.Lookup("skin_c").Values, 72, 10))
+	b.WriteString("USTA skin trace:\n")
+	b.WriteString(trace.Chart(r.USTA.Trace.Lookup("skin_c").Values, 72, 10))
+	fmt.Fprintf(&b, "peak skin: baseline %.1f °C vs USTA %.1f °C  (Δ %.1f °C; paper: 4.1 °C)\n",
+		r.Baseline.MaxSkinC, r.USTA.MaxSkinC, r.PeakDeltaC)
+	fmt.Fprintf(&b, "avg freq:  baseline %.2f GHz vs USTA %.2f GHz (−%.0f%%; paper: −34%%)\n",
+		r.Baseline.AvgFreqMHz/1000, r.USTA.AvgFreqMHz/1000, r.FreqReduction*100)
+	fmt.Fprintf(&b, "time above limit: baseline %.1f%% vs USTA %.1f%%\n",
+		r.BaselineOverFrac*100, r.USTAOverFrac*100)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Fig5Row is one participant's closing-study outcome.
+type Fig5Row struct {
+	UserID         string
+	SkinLimitC     float64
+	BaselineRating float64
+	USTARating     float64
+	Preference     users.Preference
+	// USTAActivations counts USTA interventions during the user's call
+	// (zero for high-threshold users — the paper's a, d, e, i).
+	USTAActivations int
+}
+
+// Fig5Result reproduces Figure 5 and the §IV-B preference study: each
+// participant holds the phone through a 30-minute Skype call under each
+// scheme (USTA personalized to their own limit) and rates both on a 1–5
+// scale. Paper anchors: baseline averages 4.0, USTA 4.3; four participants
+// prefer USTA, two the baseline, four report no difference.
+type Fig5Result struct {
+	Rows        []Fig5Row
+	BaselineAvg float64
+	USTAAvg     float64
+
+	PreferUSTA     int
+	PreferBaseline int
+	NoDifference   int
+}
+
+// RunFig5 executes the twenty calls and derives ratings and preferences.
+func RunFig5(pl *Pipeline) *Fig5Result {
+	out := &Fig5Result{}
+	for i, u := range users.StudyPopulation() {
+		w := workload.Skype(uint64(pl.Cfg.Seed) + 500)
+		dur := pl.Cfg.scaled(w.Duration())
+
+		base := pl.newPhone(int64(500+2*i)).Run(w, dur)
+		ustaPhone, ctrl := pl.newUSTAPhone(u.SkinLimitC, int64(501+2*i))
+		usta := ustaPhone.Run(w, dur)
+
+		baseRating := users.Rating(comfortOf(base, u.SkinLimitC))
+		ustaRating := users.Rating(comfortOf(usta, u.SkinLimitC))
+
+		row := Fig5Row{
+			UserID:          u.ID,
+			SkinLimitC:      u.SkinLimitC,
+			BaselineRating:  baseRating,
+			USTARating:      ustaRating,
+			Preference:      users.Prefer(u, baseRating, ustaRating),
+			USTAActivations: ctrl.Activations,
+		}
+		out.Rows = append(out.Rows, row)
+		out.BaselineAvg += baseRating
+		out.USTAAvg += ustaRating
+		switch row.Preference {
+		case users.PrefersUSTA:
+			out.PreferUSTA++
+		case users.PrefersBaseline:
+			out.PreferBaseline++
+		default:
+			out.NoDifference++
+		}
+	}
+	out.BaselineAvg /= float64(len(out.Rows))
+	out.USTAAvg /= float64(len(out.Rows))
+	return out
+}
+
+// comfortOf summarizes a run against a user's limit.
+func comfortOf(res *device.RunResult, limitC float64) users.Comfort {
+	skin := res.Trace.Lookup("skin_c").Values
+	over := trace.FractionAbove(skin, limitC)
+	var excess float64
+	n := 0
+	for _, v := range skin {
+		if v > limitC {
+			excess += v - limitC
+			n++
+		}
+	}
+	if n > 0 {
+		excess /= float64(n)
+	}
+	return users.Comfort{OverFrac: over, MeanExcessC: excess, Slowdown: res.Slowdown()}
+}
+
+// String renders the result as the harness table.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — user ratings, baseline vs USTA (paper: avg 4.0 vs 4.3)\n")
+	fmt.Fprintf(&b, "%-5s %8s %9s %6s %12s %12s\n", "user", "limit", "baseline", "usta", "preference", "activations")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-5s %5.1f °C %9.1f %6.1f %12s %12d\n",
+			row.UserID, row.SkinLimitC, row.BaselineRating, row.USTARating,
+			row.Preference, row.USTAActivations)
+	}
+	fmt.Fprintf(&b, "average: baseline %.2f vs USTA %.2f; prefer USTA %d, baseline %d, no difference %d\n",
+		r.BaselineAvg, r.USTAAvg, r.PreferUSTA, r.PreferBaseline, r.NoDifference)
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+// Replication: the paper reports single measurements; the simulator can
+// afford to repeat each headline experiment across independent seeds and
+// report a mean with a bootstrap confidence interval, quantifying how much
+// of the result is physics and how much is noise.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Replicate summarizes a metric across replications.
+type Replicate struct {
+	Name   string
+	Values []float64
+	Mean   float64
+	// CILo / CIHi bound the 95 % bootstrap confidence interval of the mean.
+	CILo, CIHi float64
+}
+
+// NewReplicate computes the summary for a set of replicated values.
+func NewReplicate(name string, values []float64, seed int64) Replicate {
+	r := Replicate{Name: name, Values: values}
+	if len(values) == 0 {
+		return r
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	r.Mean = sum / float64(len(values))
+	if len(values) == 1 {
+		r.CILo, r.CIHi = r.Mean, r.Mean
+		return r
+	}
+	const resamples = 2000
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		var s float64
+		for i := 0; i < len(values); i++ {
+			s += values[rng.Intn(len(values))]
+		}
+		means[b] = s / float64(len(values))
+	}
+	sort.Float64s(means)
+	r.CILo = means[int(0.025*resamples)]
+	r.CIHi = means[int(math.Min(0.975*resamples, resamples-1))]
+	return r
+}
+
+// Fig4Replication holds the replicated Figure 4 headline metrics.
+type Fig4Replication struct {
+	N             int
+	PeakDelta     Replicate
+	FreqReduction Replicate
+	USTAOverFrac  Replicate
+}
+
+// ReplicateFig4 repeats the Figure 4 experiment across n seeds. The shared
+// predictor is reused (training is seed-independent given the corpus); the
+// workload jitter and sensor noise vary per replication.
+func ReplicateFig4(pl *Pipeline, n int) *Fig4Replication {
+	if n < 1 {
+		n = 1
+	}
+	deltas := make([]float64, 0, n)
+	freqs := make([]float64, 0, n)
+	overs := make([]float64, 0, n)
+	baseSeed := pl.Cfg.Seed
+	for i := 0; i < n; i++ {
+		sub := *pl
+		sub.Cfg.Seed = baseSeed + int64(1000*(i+1))
+		// Share the expensive artifacts; only run-time seeds differ.
+		sub.corpus = pl.Corpus()
+		sub.pred = pl.Predictor()
+		res := RunFig4(&sub)
+		deltas = append(deltas, res.PeakDeltaC)
+		freqs = append(freqs, res.FreqReduction)
+		overs = append(overs, res.USTAOverFrac)
+	}
+	return &Fig4Replication{
+		N:             n,
+		PeakDelta:     NewReplicate("peak-delta-C", deltas, baseSeed+1),
+		FreqReduction: NewReplicate("freq-reduction", freqs, baseSeed+2),
+		USTAOverFrac:  NewReplicate("usta-over-frac", overs, baseSeed+3),
+	}
+}
+
+// String renders the replication summary.
+func (r *Fig4Replication) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 replicated over %d seeds (mean [95%% CI]):\n", r.N)
+	fmt.Fprintf(&b, "  peak skin reduction: %.2f [%.2f, %.2f] °C (paper: 4.1)\n",
+		r.PeakDelta.Mean, r.PeakDelta.CILo, r.PeakDelta.CIHi)
+	fmt.Fprintf(&b, "  frequency reduction: %.0f%% [%.0f%%, %.0f%%] (paper: 34%%)\n",
+		r.FreqReduction.Mean*100, r.FreqReduction.CILo*100, r.FreqReduction.CIHi*100)
+	fmt.Fprintf(&b, "  USTA time over limit: %.1f%% [%.1f%%, %.1f%%]\n",
+		r.USTAOverFrac.Mean*100, r.USTAOverFrac.CILo*100, r.USTAOverFrac.CIHi*100)
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewReplicateStatistics(t *testing.T) {
+	r := NewReplicate("m", []float64{4, 5, 6, 5, 5}, 1)
+	if r.Mean != 5 {
+		t.Fatalf("Mean = %v want 5", r.Mean)
+	}
+	if r.CILo > r.Mean || r.CIHi < r.Mean {
+		t.Fatalf("CI [%v, %v] does not bracket the mean %v", r.CILo, r.CIHi, r.Mean)
+	}
+	if r.CILo < 4 || r.CIHi > 6 {
+		t.Fatalf("CI [%v, %v] outside the data range", r.CILo, r.CIHi)
+	}
+}
+
+func TestNewReplicateEdgeCases(t *testing.T) {
+	if r := NewReplicate("empty", nil, 1); r.Mean != 0 {
+		t.Fatalf("empty Mean = %v", r.Mean)
+	}
+	r := NewReplicate("single", []float64{3.5}, 1)
+	if r.Mean != 3.5 || r.CILo != 3.5 || r.CIHi != 3.5 {
+		t.Fatalf("single-value replicate = %+v", r)
+	}
+}
+
+func TestNewReplicateDeterministicPerSeed(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	a := NewReplicate("x", vals, 7)
+	b := NewReplicate("x", vals, 7)
+	if a.CILo != b.CILo || a.CIHi != b.CIHi {
+		t.Fatal("bootstrap not deterministic per seed")
+	}
+}
+
+func TestReplicateFig4AcrossSeeds(t *testing.T) {
+	pl := pipeline(t)
+	rep := ReplicateFig4(pl, 3)
+	if rep.N != 3 || len(rep.PeakDelta.Values) != 3 {
+		t.Fatalf("replication shape: %+v", rep)
+	}
+	// Every replication must show USTA winning (positive peak reduction).
+	for i, v := range rep.PeakDelta.Values {
+		if v < 0.5 {
+			t.Fatalf("seed %d: peak delta %.2f — USTA failed to win", i, v)
+		}
+	}
+	if rep.FreqReduction.Mean <= 0 {
+		t.Fatalf("mean frequency reduction %v", rep.FreqReduction.Mean)
+	}
+	// Seed-to-seed spread should be modest: the effect is physics, not
+	// noise.
+	spread := 0.0
+	for _, v := range rep.PeakDelta.Values {
+		spread = math.Max(spread, math.Abs(v-rep.PeakDelta.Mean))
+	}
+	if spread > 1.5 {
+		t.Fatalf("peak-delta spread %.2f °C across seeds is implausibly wide", spread)
+	}
+	if !strings.Contains(rep.String(), "replicated") {
+		t.Fatal("String() broken")
+	}
+}
+
+func TestReplicateFig4ClampsN(t *testing.T) {
+	pl := pipeline(t)
+	rep := ReplicateFig4(pl, 0)
+	if rep.N != 1 {
+		t.Fatalf("n=0 should clamp to 1, got %d", rep.N)
+	}
+}

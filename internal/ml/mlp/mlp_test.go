@@ -1,0 +1,174 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := ml.NewDataset("x")
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 10
+		d.Add([]float64{x}, 2*x+1)
+	}
+	m := New(1)
+	m.Epochs = 200
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := 0; i < 50; i++ {
+		x := rng.Float64() * 10
+		mae += math.Abs(m.Predict([]float64{x}) - (2*x + 1))
+	}
+	mae /= 50
+	if mae > 0.5 {
+		t.Fatalf("MLP MAE on linear data = %v want < 0.5", mae)
+	}
+}
+
+func TestLearnsNonlinearFunction(t *testing.T) {
+	// A regression tree baseline (predict the mean) has RMSE ≈ std(y); the
+	// MLP must beat predicting the mean on a smooth nonlinear target.
+	rng := rand.New(rand.NewSource(2))
+	d := ml.NewDataset("x")
+	target := func(x float64) float64 { return math.Sin(x) * 5 }
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 6
+		d.Add([]float64{x}, target(x))
+	}
+	m := New(3)
+	m.Hidden = 8
+	m.Epochs = 400
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	var ssRes, ssTot float64
+	_, std := d.TargetStats()
+	mean, _ := d.TargetStats()
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 6
+		y := target(x)
+		p := m.Predict([]float64{x})
+		ssRes += (y - p) * (y - p)
+		ssTot += (y - mean) * (y - mean)
+	}
+	if ssRes >= ssTot*0.3 {
+		t.Fatalf("MLP failed to capture sin(x): ssRes=%v ssTot=%v (std=%v)", ssRes, ssTot, std)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	d := ml.NewDataset("x")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		d.Add([]float64{x}, x*x)
+	}
+	a := New(42)
+	a.Epochs = 50
+	b := New(42)
+	b.Epochs = 50
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x := []float64{float64(i) / 10}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed MLPs diverge")
+		}
+	}
+	c := New(43)
+	c.Epochs = 50
+	if err := c.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 10; i++ {
+		x := []float64{float64(i) / 10}
+		if a.Predict(x) != c.Predict(x) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical MLPs")
+	}
+}
+
+func TestDefaultHiddenSize(t *testing.T) {
+	d := ml.NewDataset("a", "b", "c", "d")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		d.Add(x, x[0])
+	}
+	m := New(1)
+	m.Epochs = 10
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.wIn) != 2 { // (4+1)/2 = 2
+		t.Fatalf("default hidden size = %d want 2", len(m.wIn))
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	d := ml.NewDataset("const", "x")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		d.Add([]float64{7, x}, 3*x)
+	}
+	m := New(1)
+	m.Epochs = 100
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict([]float64{7, 0.5})
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("constant feature produced %v", p)
+	}
+}
+
+func TestConstantTargetHandled(t *testing.T) {
+	d := ml.NewDataset("x")
+	for i := 0; i < 20; i++ {
+		d.Add([]float64{float64(i)}, 42)
+	}
+	m := New(1)
+	m.Epochs = 10
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{5}); p != 42 {
+		t.Fatalf("constant target prediction = %v want 42", p)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if err := New(1).Fit(ml.NewDataset("x")); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Predict([]float64{1})
+}
+
+func TestName(t *testing.T) {
+	if New(1).Name() != "MultilayerPerceptron" {
+		t.Fatalf("Name = %q", New(1).Name())
+	}
+}

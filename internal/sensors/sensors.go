@@ -1,0 +1,162 @@
+// Package sensors models the measurement chain of the instrumented phone:
+// the built-in CPU and battery temperature sensors the predictor reads at
+// run time, the external thermistors that supplied ground-truth skin and
+// screen temperatures during training, and the periodic logging application
+// that assembles the paper's feature tuple {CPU temperature, battery
+// temperature, CPU utilization, CPU frequency}.
+//
+// Real packaged sensors differ from the physical node temperature in three
+// ways that matter to the learned predictor: first-order thermal lag,
+// additive noise, and ADC quantization. All three are modelled and seeded.
+package sensors
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sensor converts a physical node temperature into a measured reading.
+type Sensor struct {
+	// QuantC is the quantization step in °C (0 disables quantization).
+	QuantC float64
+	// NoiseStd is the standard deviation of additive Gaussian noise in °C.
+	NoiseStd float64
+	// LagTau is the first-order lag time constant in seconds (0 = no lag).
+	LagTau float64
+
+	rng    *rand.Rand
+	state  float64
+	primed bool
+}
+
+// NewSensor creates a sensor with the given quantization, noise, and lag,
+// using a deterministic noise stream derived from seed.
+func NewSensor(quantC, noiseStd, lagTau float64, seed int64) *Sensor {
+	return &Sensor{QuantC: quantC, NoiseStd: noiseStd, LagTau: lagTau, rng: rand.New(rand.NewSource(seed))}
+}
+
+// BuiltinTempSensor returns the model of an on-SoC/battery temperature
+// sensor: 0.1 °C quantization, mild noise, ~2 s lag.
+func BuiltinTempSensor(seed int64) *Sensor { return NewSensor(0.1, 0.15, 2.0, seed) }
+
+// Thermistor returns the model of an attached external thermistor used to
+// collect training labels: fine quantization, low noise, ~1 s lag from the
+// adhesive pad.
+func Thermistor(seed int64) *Sensor { return NewSensor(0.02, 0.05, 1.0, seed) }
+
+// Read advances the sensor by dt seconds with the physical temperature
+// trueC and returns the measured value.
+func (s *Sensor) Read(trueC, dt float64) float64 {
+	if !s.primed {
+		s.state = trueC
+		s.primed = true
+	} else if s.LagTau <= 0 || dt <= 0 {
+		s.state = trueC
+	} else {
+		alpha := 1 - math.Exp(-dt/s.LagTau)
+		s.state += alpha * (trueC - s.state)
+	}
+	v := s.state
+	if s.NoiseStd > 0 {
+		v += s.rng.NormFloat64() * s.NoiseStd
+	}
+	if s.QuantC > 0 {
+		v = math.Round(v/s.QuantC) * s.QuantC
+	}
+	return v
+}
+
+// Reset clears the lag state so the next Read primes from the physical
+// temperature.
+func (s *Sensor) Reset() { s.primed = false }
+
+// Record is one line of the logging application: the observables available
+// on a stock phone plus, during training runs, the thermistor ground truth.
+type Record struct {
+	TimeSec float64
+	// On-device observables (model features).
+	CPUTempC     float64
+	BatteryTempC float64
+	Util         float64 // average utilization over the logging window
+	FreqMHz      float64 // average frequency over the logging window
+	// Thermistor ground truth (model labels; NaN when thermistors absent).
+	SkinTempC   float64
+	ScreenTempC float64
+}
+
+// Features returns the paper's feature vector in canonical order:
+// CPU temperature, battery temperature, utilization, frequency.
+func (r Record) Features() []float64 {
+	return []float64{r.CPUTempC, r.BatteryTempC, r.Util, r.FreqMHz}
+}
+
+// FeatureNames lists the canonical feature order used across the
+// reproduction.
+var FeatureNames = []string{"cpu_temp_c", "battery_temp_c", "cpu_util", "cpu_freq_mhz"}
+
+// Logger accumulates Records at a fixed period, averaging utilization and
+// frequency over each window the way the paper's logging app does.
+type Logger struct {
+	// PeriodSec is the logging period (the paper logs every second).
+	PeriodSec float64
+
+	records []Record
+
+	winStart   float64
+	utilSum    float64
+	freqSum    float64
+	winSamples int
+	started    bool
+}
+
+// NewLogger creates a logger with the given period in seconds.
+func NewLogger(periodSec float64) *Logger {
+	if periodSec <= 0 {
+		periodSec = 1
+	}
+	return &Logger{PeriodSec: periodSec}
+}
+
+// Observe feeds one simulation step into the logger. util and freqMHz are
+// accumulated; when a logging window closes, a Record is emitted with the
+// instantaneous sensor readings supplied by the closure arguments.
+func (l *Logger) Observe(t, util, freqMHz float64, cpuC, batC, skinC, screenC float64) {
+	if !l.started {
+		l.started = true
+		l.winStart = t
+	}
+	l.utilSum += util
+	l.freqSum += freqMHz
+	l.winSamples++
+	if t-l.winStart+1e-9 >= l.PeriodSec {
+		l.records = append(l.records, Record{
+			TimeSec:      t,
+			CPUTempC:     cpuC,
+			BatteryTempC: batC,
+			Util:         l.utilSum / float64(l.winSamples),
+			FreqMHz:      l.freqSum / float64(l.winSamples),
+			SkinTempC:    skinC,
+			ScreenTempC:  screenC,
+		})
+		l.winStart = t
+		l.utilSum, l.freqSum, l.winSamples = 0, 0, 0
+	}
+}
+
+// Records returns the accumulated log.
+func (l *Logger) Records() []Record { return l.records }
+
+// Latest returns the most recent record and whether one exists.
+func (l *Logger) Latest() (Record, bool) {
+	if len(l.records) == 0 {
+		return Record{}, false
+	}
+	return l.records[len(l.records)-1], true
+}
+
+// Reset clears the log and windowing state.
+func (l *Logger) Reset() {
+	l.records = nil
+	l.started = false
+	l.utilSum, l.freqSum, l.winSamples = 0, 0, 0
+}

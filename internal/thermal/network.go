@@ -1,0 +1,346 @@
+// Package thermal implements a lumped-parameter (compartmental RC) thermal
+// network simulator. It stands in for the physical heat flow of the paper's
+// instrumented Google Nexus 4: heat generated in the SoC die, battery and
+// display spreads through internal thermal resistances to the back cover and
+// screen, which exchange heat with the ambient (and with the user's hand).
+//
+// An RC network is the standard abstraction for smartphone-scale thermal
+// modelling (e.g. Therminator, ISLPED 2014, cited by the paper): each
+// physical component is a node with a thermal capacitance (J/K) and a
+// temperature, and pairs of nodes are coupled by thermal resistances (K/W).
+// Power sources inject heat at nodes; "baths" model isothermal reservoirs
+// such as the ambient air or a human palm.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// NodeID identifies a node within a Network.
+type NodeID int
+
+// BathRef identifies an isothermal-bath coupling attached to a node.
+type BathRef struct {
+	node NodeID
+	idx  int
+}
+
+type bath struct {
+	temp       float64 // bath temperature in °C (ignored if useAmbient)
+	g          float64 // conductance in W/K (0 = disconnected)
+	useAmbient bool    // track the network-wide ambient temperature
+}
+
+type edge struct {
+	other NodeID
+	g     float64 // conductance in W/K
+}
+
+// Network is a thermal RC network. The zero value is not usable; construct
+// with NewNetwork.
+type Network struct {
+	ambient float64 // °C
+
+	names []string
+	caps  []float64 // J/K
+	temps []float64 // °C
+	power []float64 // W injected externally
+
+	adj   [][]edge
+	baths [][]bath
+
+	// scratch buffers for the RK4 integrator
+	k1, k2, k3, k4, tmp []float64
+
+	// maxStableDt caches the largest internally-safe integration substep;
+	// recomputed whenever topology or conductances change.
+	maxStableDt float64
+	dirty       bool
+}
+
+// ErrEmpty is returned when an operation needs at least one node.
+var ErrEmpty = errors.New("thermal: network has no nodes")
+
+// NewNetwork creates an empty network with the given ambient temperature in
+// degrees Celsius.
+func NewNetwork(ambient float64) *Network {
+	return &Network{ambient: ambient, dirty: true}
+}
+
+// AddNode adds a node with the given name, thermal capacitance (J/K) and
+// initial temperature (°C), returning its identifier.
+func (n *Network) AddNode(name string, capacitance, initTemp float64) NodeID {
+	if capacitance <= 0 {
+		panic(fmt.Sprintf("thermal: node %q needs positive capacitance, got %v", name, capacitance))
+	}
+	id := NodeID(len(n.names))
+	n.names = append(n.names, name)
+	n.caps = append(n.caps, capacitance)
+	n.temps = append(n.temps, initTemp)
+	n.power = append(n.power, 0)
+	n.adj = append(n.adj, nil)
+	n.baths = append(n.baths, nil)
+	n.dirty = true
+	return id
+}
+
+// NumNodes returns the number of nodes in the network.
+func (n *Network) NumNodes() int { return len(n.names) }
+
+// Name returns the name a node was registered with.
+func (n *Network) Name(id NodeID) string { return n.names[id] }
+
+// Lookup returns the node with the given name.
+func (n *Network) Lookup(name string) (NodeID, bool) {
+	for i, nm := range n.names {
+		if nm == name {
+			return NodeID(i), true
+		}
+	}
+	return -1, false
+}
+
+// Connect couples nodes a and b with a thermal resistance in K/W.
+func (n *Network) Connect(a, b NodeID, resistance float64) {
+	if a == b {
+		panic("thermal: cannot connect a node to itself")
+	}
+	if resistance <= 0 {
+		panic(fmt.Sprintf("thermal: resistance must be positive, got %v", resistance))
+	}
+	g := 1 / resistance
+	n.adj[a] = append(n.adj[a], edge{other: b, g: g})
+	n.adj[b] = append(n.adj[b], edge{other: a, g: g})
+	n.dirty = true
+}
+
+// ConnectAmbient couples node a to the network-wide ambient temperature with
+// the given thermal resistance (K/W). The coupling tracks later SetAmbient
+// calls.
+func (n *Network) ConnectAmbient(a NodeID, resistance float64) BathRef {
+	if resistance <= 0 {
+		panic(fmt.Sprintf("thermal: resistance must be positive, got %v", resistance))
+	}
+	n.baths[a] = append(n.baths[a], bath{g: 1 / resistance, useAmbient: true})
+	n.dirty = true
+	return BathRef{node: a, idx: len(n.baths[a]) - 1}
+}
+
+// AddBath couples node a to an isothermal reservoir at the given temperature
+// (°C) through the given resistance (K/W). Pass resistance <= 0 to create
+// the bath initially disconnected (e.g. a hand that is not yet touching).
+func (n *Network) AddBath(a NodeID, temp, resistance float64) BathRef {
+	g := 0.0
+	if resistance > 0 {
+		g = 1 / resistance
+	}
+	n.baths[a] = append(n.baths[a], bath{temp: temp, g: g})
+	n.dirty = true
+	return BathRef{node: a, idx: len(n.baths[a]) - 1}
+}
+
+// SetBath reconfigures a bath's temperature and resistance. Pass
+// resistance <= 0 to disconnect it.
+func (n *Network) SetBath(ref BathRef, temp, resistance float64) {
+	b := &n.baths[ref.node][ref.idx]
+	b.temp = temp
+	if resistance > 0 {
+		b.g = 1 / resistance
+	} else {
+		b.g = 0
+	}
+	b.useAmbient = false
+	n.dirty = true
+}
+
+// SetBathResistance changes only a bath's resistance, preserving its
+// temperature configuration (including ambient tracking). Pass
+// resistance <= 0 to disconnect.
+func (n *Network) SetBathResistance(ref BathRef, resistance float64) {
+	b := &n.baths[ref.node][ref.idx]
+	if resistance > 0 {
+		b.g = 1 / resistance
+	} else {
+		b.g = 0
+	}
+	n.dirty = true
+}
+
+// Ambient returns the ambient temperature in °C.
+func (n *Network) Ambient() float64 { return n.ambient }
+
+// SetAmbient changes the ambient temperature in °C.
+func (n *Network) SetAmbient(t float64) { n.ambient = t }
+
+// SetPower sets the externally injected power (W) at a node; it replaces any
+// previous value.
+func (n *Network) SetPower(id NodeID, watts float64) { n.power[id] = watts }
+
+// Power returns the externally injected power (W) at a node.
+func (n *Network) Power(id NodeID) float64 { return n.power[id] }
+
+// Temp returns the current temperature (°C) of a node.
+func (n *Network) Temp(id NodeID) float64 { return n.temps[id] }
+
+// SetTemp overrides the current temperature (°C) of a node.
+func (n *Network) SetTemp(id NodeID, t float64) { n.temps[id] = t }
+
+// Temps copies all node temperatures into dst (allocating if nil) and
+// returns it.
+func (n *Network) Temps(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(n.temps))
+	}
+	copy(dst, n.temps)
+	return dst
+}
+
+// deriv writes dT/dt for temperatures t into out.
+func (n *Network) deriv(t, out []float64) {
+	for i := range out {
+		q := n.power[i]
+		ti := t[i]
+		for _, e := range n.adj[i] {
+			q += e.g * (t[e.other] - ti)
+		}
+		for _, b := range n.baths[i] {
+			bt := b.temp
+			if b.useAmbient {
+				bt = n.ambient
+			}
+			q += b.g * (bt - ti)
+		}
+		out[i] = q / n.caps[i]
+	}
+}
+
+// refresh recomputes the stability-limited substep after topology changes.
+func (n *Network) refresh() {
+	n.maxStableDt = math.Inf(1)
+	for i := range n.caps {
+		var g float64
+		for _, e := range n.adj[i] {
+			g += e.g
+		}
+		for _, b := range n.baths[i] {
+			g += b.g
+		}
+		if g <= 0 {
+			continue
+		}
+		// Explicit RK4 is stable for dt < ~2.78·C/G; keep a 4x margin for
+		// accuracy as well as stability.
+		if tau := n.caps[i] / g; tau/1.5 < n.maxStableDt {
+			n.maxStableDt = tau / 1.5
+		}
+	}
+	if math.IsInf(n.maxStableDt, 1) {
+		n.maxStableDt = 1 // fully isolated network: any step works
+	}
+	ln := len(n.caps)
+	if cap(n.k1) < ln {
+		n.k1 = make([]float64, ln)
+		n.k2 = make([]float64, ln)
+		n.k3 = make([]float64, ln)
+		n.k4 = make([]float64, ln)
+		n.tmp = make([]float64, ln)
+	}
+	n.dirty = false
+}
+
+// Step advances the network by dt seconds using classical RK4 with automatic
+// substepping to remain inside the explicit stability region.
+func (n *Network) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	if n.dirty {
+		n.refresh()
+	}
+	steps := 1
+	if dt > n.maxStableDt {
+		steps = int(math.Ceil(dt / n.maxStableDt))
+	}
+	h := dt / float64(steps)
+	ln := len(n.temps)
+	for s := 0; s < steps; s++ {
+		t := n.temps
+		n.deriv(t, n.k1)
+		for i := 0; i < ln; i++ {
+			n.tmp[i] = t[i] + 0.5*h*n.k1[i]
+		}
+		n.deriv(n.tmp, n.k2)
+		for i := 0; i < ln; i++ {
+			n.tmp[i] = t[i] + 0.5*h*n.k2[i]
+		}
+		n.deriv(n.tmp, n.k3)
+		for i := 0; i < ln; i++ {
+			n.tmp[i] = t[i] + h*n.k3[i]
+		}
+		n.deriv(n.tmp, n.k4)
+		for i := 0; i < ln; i++ {
+			t[i] += h / 6 * (n.k1[i] + 2*n.k2[i] + 2*n.k3[i] + n.k4[i])
+		}
+	}
+}
+
+// SteadyState solves for the equilibrium temperatures under the current
+// power injection and bath configuration without altering the transient
+// state. It returns one temperature per node.
+func (n *Network) SteadyState() ([]float64, error) {
+	ln := len(n.temps)
+	if ln == 0 {
+		return nil, ErrEmpty
+	}
+	a := mat.NewDense(ln, ln)
+	b := make([]float64, ln)
+	for i := 0; i < ln; i++ {
+		var diag float64
+		for _, e := range n.adj[i] {
+			diag += e.g
+			a.Set(i, int(e.other), a.At(i, int(e.other))-e.g)
+		}
+		rhs := n.power[i]
+		for _, bt := range n.baths[i] {
+			diag += bt.g
+			temp := bt.temp
+			if bt.useAmbient {
+				temp = n.ambient
+			}
+			rhs += bt.g * temp
+		}
+		a.Set(i, i, a.At(i, i)+diag)
+		b[i] = rhs
+	}
+	x, err := mat.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: steady state has no unique solution (is every island coupled to a bath?): %w", err)
+	}
+	return x, nil
+}
+
+// Equilibrate sets every node temperature to its steady-state value for the
+// current configuration. It is the canonical way to initialise a simulation
+// "soaked" at ambient: zero the powers, call Equilibrate, restore powers.
+func (n *Network) Equilibrate() error {
+	t, err := n.SteadyState()
+	if err != nil {
+		return err
+	}
+	copy(n.temps, t)
+	return nil
+}
+
+// TotalHeatContent returns Σ C_i·T_i in joules relative to 0 °C. Useful for
+// energy-balance checks in tests.
+func (n *Network) TotalHeatContent() float64 {
+	var s float64
+	for i, c := range n.caps {
+		s += c * n.temps[i]
+	}
+	return s
+}

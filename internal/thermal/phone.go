@@ -1,0 +1,152 @@
+package thermal
+
+// This file builds the Nexus-4-like phone thermal network used throughout
+// the reproduction. Node granularity follows the paper's instrumentation:
+// the external thermistors sit at the back-cover midsection ("skin
+// temperature"), back-cover upper section, and mid-screen; the built-in
+// sensors report die (CPU) and battery temperatures.
+//
+// Parameter provenance: capacitances approximate component masses of a
+// ~139 g smartphone times typical specific heats (glass ≈ 0.8 J/gK,
+// Li-polymer ≈ 1.0 J/gK, PCB ≈ 0.9 J/gK); ambient resistances approximate
+// natural convection + radiation from ~50–60 cm² faces (h ≈ 8–12 W/m²K).
+// The combination is calibrated (see phone_test.go) so that a sustained
+// CPU-saturating workload soaks the back cover from 25 °C ambient to the
+// low-40s °C with a case time constant of a few minutes, while the die
+// stays below the built-in CPU throttling trip point — exactly the regime
+// the paper reports (§III: skin exceeds every user's comfort limit while
+// CPU temperature never triggers the stock thermal governor).
+
+// PhoneNodes names the nodes of the phone thermal network.
+type PhoneNodes struct {
+	Die        NodeID // CPU/GPU silicon (built-in "CPU temperature" sensor)
+	Pkg        NodeID // SoC package + PoP memory
+	PCB        NodeID // main board, shields, camera/ISP, RF
+	Battery    NodeID // battery pack (built-in "battery temperature" sensor)
+	CoverMid   NodeID // back cover midsection — the paper's "skin temperature"
+	CoverUpper NodeID // back cover upper section (second thermistor)
+	Screen     NodeID // display glass mid-point (third thermistor)
+	Frame      NodeID // side frame / chassis
+
+	// Hand is an initially-disconnected isothermal bath representing a palm
+	// in contact with the back cover midsection. Use ApplyTouch rather than
+	// connecting it directly: touch both couples the palm and blocks part
+	// of the cover's convection to ambient.
+	Hand BathRef
+	// CoverMidAmbient is the cover-midsection convection path, exposed so
+	// ApplyTouch can throttle it while the phone is held.
+	CoverMidAmbient BathRef
+}
+
+// PhoneConfig holds the physical parameters of the phone model. All
+// capacitances are J/K, resistances K/W, temperatures °C.
+type PhoneConfig struct {
+	Ambient float64
+
+	CapDie, CapPkg, CapPCB, CapBattery    float64
+	CapCoverMid, CapCoverUpper, CapScreen float64
+	CapFrame                              float64
+	ResDiePkg, ResPkgPCB, ResPCBBattery   float64
+	ResPCBCoverMid, ResPCBCoverUpper      float64
+	ResBatteryCoverMid, ResPCBScreen      float64
+	ResPCBFrame, ResFrameCoverMid         float64
+	ResFrameScreen                        float64
+	ResAmbCoverMid, ResAmbCoverUpper      float64
+	ResAmbScreen, ResAmbFrame             float64
+	HandTemp, HandContactRes              float64
+	// TouchAmbientFactor multiplies the cover-midsection ambient resistance
+	// while the phone is held: a palm blocks natural convection from the
+	// area it covers. Values > 1 mean a held phone sheds less heat there.
+	TouchAmbientFactor float64
+}
+
+// DefaultPhoneConfig returns the calibrated Nexus-4-like parameter set.
+func DefaultPhoneConfig() PhoneConfig {
+	return PhoneConfig{
+		Ambient: 25,
+
+		CapDie:        2,
+		CapPkg:        6,
+		CapPCB:        18,
+		CapBattery:    28,
+		CapCoverMid:   9,
+		CapCoverUpper: 7,
+		CapScreen:     18,
+		CapFrame:      11,
+
+		ResDiePkg:          3.2,
+		ResPkgPCB:          2.2,
+		ResPCBBattery:      3.0,
+		ResPCBCoverMid:     4.5,
+		ResPCBCoverUpper:   5.5,
+		ResBatteryCoverMid: 3.0,
+		ResPCBScreen:       9.0,
+		ResPCBFrame:        4.5,
+		ResFrameCoverMid:   8.0,
+		ResFrameScreen:     8.0,
+
+		ResAmbCoverMid:   17,
+		ResAmbCoverUpper: 19,
+		ResAmbScreen:     10,
+		ResAmbFrame:      22,
+
+		HandTemp:           33.5,
+		HandContactRes:     40,
+		TouchAmbientFactor: 2.0,
+	}
+}
+
+// NewPhone builds the phone network at thermal equilibrium with the
+// configured ambient (all nodes start at cfg.Ambient) and returns the
+// network together with the node handles.
+func NewPhone(cfg PhoneConfig) (*Network, PhoneNodes) {
+	n := NewNetwork(cfg.Ambient)
+	var p PhoneNodes
+	p.Die = n.AddNode("die", cfg.CapDie, cfg.Ambient)
+	p.Pkg = n.AddNode("pkg", cfg.CapPkg, cfg.Ambient)
+	p.PCB = n.AddNode("pcb", cfg.CapPCB, cfg.Ambient)
+	p.Battery = n.AddNode("battery", cfg.CapBattery, cfg.Ambient)
+	p.CoverMid = n.AddNode("cover-mid", cfg.CapCoverMid, cfg.Ambient)
+	p.CoverUpper = n.AddNode("cover-upper", cfg.CapCoverUpper, cfg.Ambient)
+	p.Screen = n.AddNode("screen", cfg.CapScreen, cfg.Ambient)
+	p.Frame = n.AddNode("frame", cfg.CapFrame, cfg.Ambient)
+
+	n.Connect(p.Die, p.Pkg, cfg.ResDiePkg)
+	n.Connect(p.Pkg, p.PCB, cfg.ResPkgPCB)
+	n.Connect(p.PCB, p.Battery, cfg.ResPCBBattery)
+	n.Connect(p.PCB, p.CoverMid, cfg.ResPCBCoverMid)
+	n.Connect(p.PCB, p.CoverUpper, cfg.ResPCBCoverUpper)
+	n.Connect(p.Battery, p.CoverMid, cfg.ResBatteryCoverMid)
+	n.Connect(p.PCB, p.Screen, cfg.ResPCBScreen)
+	n.Connect(p.PCB, p.Frame, cfg.ResPCBFrame)
+	n.Connect(p.Frame, p.CoverMid, cfg.ResFrameCoverMid)
+	n.Connect(p.Frame, p.Screen, cfg.ResFrameScreen)
+
+	p.CoverMidAmbient = n.ConnectAmbient(p.CoverMid, cfg.ResAmbCoverMid)
+	n.ConnectAmbient(p.CoverUpper, cfg.ResAmbCoverUpper)
+	n.ConnectAmbient(p.Screen, cfg.ResAmbScreen)
+	n.ConnectAmbient(p.Frame, cfg.ResAmbFrame)
+
+	p.Hand = n.AddBath(p.CoverMid, cfg.HandTemp, 0) // disconnected until touched
+	return n, p
+}
+
+// ApplyTouch sets or clears hand contact on the back cover: touching
+// couples the ~33.5 °C palm to the cover midsection and throttles that
+// area's convection (the hand blocks airflow). The two effects roughly
+// cancel on a warm device — the paper's §III-A observation that touch does
+// not significantly alter exterior temperatures — while on a hot device the
+// blocked convection dominates and the held phone runs slightly hotter.
+func ApplyTouch(n *Network, p PhoneNodes, cfg PhoneConfig, touching bool) {
+	factor := cfg.TouchAmbientFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	if touching {
+		n.SetBath(p.Hand, cfg.HandTemp, cfg.HandContactRes)
+		n.SetBathResistance(p.CoverMidAmbient, cfg.ResAmbCoverMid*factor)
+	} else {
+		n.SetBath(p.Hand, cfg.HandTemp, 0)
+		n.SetBathResistance(p.CoverMidAmbient, cfg.ResAmbCoverMid)
+	}
+}

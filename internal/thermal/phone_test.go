@@ -1,0 +1,214 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// heavyLoadPowers approximates a CPU-saturating benchmark at the top DVFS
+// level: ~3.2 W in the die, ~0.35 W GPU/memory in the package, ~0.45 W
+// display, ~0.25 W board-level (RF, regulators).
+func heavyLoadPowers(n *Network, p PhoneNodes) {
+	n.SetPower(p.Die, 3.2)
+	n.SetPower(p.Pkg, 0.35)
+	n.SetPower(p.Screen, 0.45)
+	n.SetPower(p.PCB, 0.25)
+}
+
+func TestPhoneStartsAtAmbient(t *testing.T) {
+	n, p := NewPhone(DefaultPhoneConfig())
+	for id := NodeID(0); int(id) < n.NumNodes(); id++ {
+		if n.Temp(id) != 25 {
+			t.Fatalf("node %s starts at %v want 25", n.Name(id), n.Temp(id))
+		}
+	}
+	_ = p
+}
+
+func TestPhoneHeavyLoadSteadyStateCalibration(t *testing.T) {
+	// The calibration targets reproduce the paper's regime: a sustained
+	// CPU-heavy workload pushes the back-cover midsection ("skin") into the
+	// low-40s °C — beyond every participant's comfort limit (max 42.8 °C is
+	// approached, min 34.0 °C far exceeded) — while the die stays well below
+	// a ~100 °C built-in throttling trip point.
+	n, p := NewPhone(DefaultPhoneConfig())
+	heavyLoadPowers(n, p)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skin := ss[p.CoverMid]
+	screen := ss[p.Screen]
+	die := ss[p.Die]
+	if skin < 40 || skin > 46 {
+		t.Fatalf("heavy-load steady skin = %.1f °C, want 40–46", skin)
+	}
+	if screen < 35 || screen > 44 {
+		t.Fatalf("heavy-load steady screen = %.1f °C, want 35–44", screen)
+	}
+	if screen >= skin {
+		t.Fatalf("screen (%.1f) should run cooler than back cover (%.1f): heat sources sit nearer the cover", screen, skin)
+	}
+	if die < 50 || die > 95 {
+		t.Fatalf("heavy-load steady die = %.1f °C, want 50–95 (below throttle trip)", die)
+	}
+	if ss[p.Battery] <= ss[p.CoverMid]-8 || ss[p.Battery] >= die {
+		t.Fatalf("battery %.1f should sit between cover %.1f and die %.1f", ss[p.Battery], skin, die)
+	}
+}
+
+func TestPhoneCaseTimeConstantMinutesScale(t *testing.T) {
+	// The paper's user study saw every participant's limit crossed within
+	// 7 minutes of a heavy benchmark. Check the skin node covers ~63 % of
+	// its final rise within 2–8 minutes.
+	n, p := NewPhone(DefaultPhoneConfig())
+	heavyLoadPowers(n, p)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rise := ss[p.CoverMid] - 25
+	target := 25 + rise*(1-math.Exp(-1))
+	var reached float64 = -1
+	for sec := 1; sec <= 1200; sec++ {
+		n.Step(1)
+		if n.Temp(p.CoverMid) >= target {
+			reached = float64(sec)
+			break
+		}
+	}
+	if reached < 0 {
+		t.Fatal("skin never reached 63% of final rise within 20 min")
+	}
+	if reached < 90 || reached > 540 {
+		t.Fatalf("skin time constant = %.0f s, want minutes-scale (90–540 s)", reached)
+	}
+}
+
+func TestPhoneDieRespondsFasterThanCase(t *testing.T) {
+	n, p := NewPhone(DefaultPhoneConfig())
+	heavyLoadPowers(n, p)
+	n.Step(30) // 30 seconds of load
+	dieRise := n.Temp(p.Die) - 25
+	skinRise := n.Temp(p.CoverMid) - 25
+	if dieRise < 5*skinRise {
+		t.Fatalf("die should lead the case by a wide margin after 30 s: die +%.2f vs skin +%.2f", dieRise, skinRise)
+	}
+}
+
+func TestPhoneIdleStaysNearAmbient(t *testing.T) {
+	n, p := NewPhone(DefaultPhoneConfig())
+	n.SetPower(p.Die, 0.08) // idle leakage + housekeeping
+	n.SetPower(p.Screen, 0.0)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[p.CoverMid] > 27 {
+		t.Fatalf("idle skin = %.1f °C, should stay near ambient", ss[p.CoverMid])
+	}
+}
+
+func TestPhoneHandContactSmallEffectWhenHot(t *testing.T) {
+	// Paper §III-A: human touch does not significantly alter exterior
+	// temperatures, especially under active use. On a hot phone the warm
+	// palm coupling and the blocked convection largely cancel: the net
+	// shift must stay under 2 °C (slightly warmer, since the palm blocks
+	// airflow from the hottest area).
+	cfg := DefaultPhoneConfig()
+	n, p := NewPhone(cfg)
+	heavyLoadPowers(n, p)
+	ssNoTouch, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyTouch(n, p, cfg, true)
+	ssTouch, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := ssTouch[p.CoverMid] - ssNoTouch[p.CoverMid]
+	if math.Abs(delta) > 2 {
+		t.Fatalf("touch changed hot skin by %.2f °C, want |Δ| < 2 °C", delta)
+	}
+	if delta <= 0 {
+		t.Fatalf("holding a hot phone should net-warm the cover (blocked convection), got %+.2f", delta)
+	}
+}
+
+func TestPhoneHandContactWarmsColdPhone(t *testing.T) {
+	// An off, untouched phone sits at ambient; holding it should warm the
+	// cover towards palm temperature (the paper's first two touch-study
+	// configurations).
+	cfg := DefaultPhoneConfig()
+	n, p := NewPhone(cfg)
+	ApplyTouch(n, p, cfg, true)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[p.CoverMid] <= 25 || ss[p.CoverMid] >= cfg.HandTemp {
+		t.Fatalf("held idle phone skin = %.2f °C, want between ambient and palm", ss[p.CoverMid])
+	}
+}
+
+func TestApplyTouchIsReversible(t *testing.T) {
+	cfg := DefaultPhoneConfig()
+	n, p := NewPhone(cfg)
+	heavyLoadPowers(n, p)
+	before, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyTouch(n, p, cfg, true)
+	ApplyTouch(n, p, cfg, false)
+	after, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 1e-9 {
+			t.Fatalf("touch+release changed node %d equilibrium: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestPhoneChargingWarmsBatterySide(t *testing.T) {
+	// Charging dissipates heat in the battery; the cover midsection (which
+	// sits over the battery) should warm more than the screen.
+	n, p := NewPhone(DefaultPhoneConfig())
+	n.SetPower(p.Battery, 0.9)
+	n.SetPower(p.Die, 0.15)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[p.CoverMid] <= ss[p.Screen] {
+		t.Fatalf("charging: cover %.2f should exceed screen %.2f", ss[p.CoverMid], ss[p.Screen])
+	}
+	if ss[p.CoverMid] < 27 || ss[p.CoverMid] > 36 {
+		t.Fatalf("charging skin = %.1f °C, want a mild rise (27–36)", ss[p.CoverMid])
+	}
+}
+
+func TestPhoneHigherAmbientShiftsEverything(t *testing.T) {
+	cfg := DefaultPhoneConfig()
+	cfg.Ambient = 35
+	n, p := NewPhone(cfg)
+	heavyLoadPowers(n, p)
+	ss, err := n.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultPhoneConfig() // ambient 25
+	n2, p2 := NewPhone(cfg2)
+	heavyLoadPowers(n2, p2)
+	ss2, err := n2.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := ss[p.CoverMid] - ss2[p2.CoverMid]
+	if math.Abs(shift-10) > 1e-6 {
+		t.Fatalf("ambient +10 °C should shift skin by exactly +10 in a linear network, got %+.3f", shift)
+	}
+}

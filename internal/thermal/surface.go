@@ -1,0 +1,202 @@
+package thermal
+
+// Surface maps: a 2D steady-state solver for the temperature distribution
+// across the back cover, in the spirit of Therminator (Xie et al.,
+// ISLPED 2014 — the paper's reference [8], which produces "accurate chip
+// and skin temperature maps"). The lumped network answers *when* the cover
+// gets hot; the surface map answers *where* — and shows why the paper
+// instruments the cover midsection (over the battery/PCB) as "the skin
+// temperature".
+//
+// The cover is a W×H cell grid. Each cell conducts laterally to its four
+// neighbours (conductance KLat), convects to ambient (GAmb per cell), and
+// receives heat from component footprints projected onto the cover.
+// Steady state solves the linear balance with Gauss–Seidel + successive
+// over-relaxation, which converges quickly on these diffusion-dominated
+// grids.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HeatSource is a rectangular component footprint projected onto the cover
+// grid, dissipating Watts uniformly over its cells.
+type HeatSource struct {
+	X, Y  int // top-left cell
+	W, H  int // extent in cells
+	Watts float64
+}
+
+// SurfaceConfig parameterizes the cover grid.
+type SurfaceConfig struct {
+	// W, H are the grid dimensions in cells (phone held portrait: W across,
+	// H top-to-bottom).
+	W, H int
+	// KLat is the lateral conductance between adjacent cells (W/K).
+	KLat float64
+	// GAmb is each cell's conductance to ambient (W/K).
+	GAmb float64
+	// Ambient is the ambient temperature (°C).
+	Ambient float64
+}
+
+// SurfaceMap is a solved temperature field.
+type SurfaceMap struct {
+	W, H int
+	T    []float64 // row-major, T[y*W+x], °C
+}
+
+// At returns the temperature of cell (x, y).
+func (m *SurfaceMap) At(x, y int) float64 { return m.T[y*m.W+x] }
+
+// Max returns the hottest cell and its location.
+func (m *SurfaceMap) Max() (tC float64, x, y int) {
+	tC = math.Inf(-1)
+	for yy := 0; yy < m.H; yy++ {
+		for xx := 0; xx < m.W; xx++ {
+			if v := m.At(xx, yy); v > tC {
+				tC, x, y = v, xx, yy
+			}
+		}
+	}
+	return tC, x, y
+}
+
+// Mean returns the average surface temperature.
+func (m *SurfaceMap) Mean() float64 {
+	var s float64
+	for _, v := range m.T {
+		s += v
+	}
+	return s / float64(len(m.T))
+}
+
+// SolveSurface computes the steady-state temperature field for the given
+// sources. It returns an error for malformed grids or footprints outside
+// the grid.
+func SolveSurface(cfg SurfaceConfig, sources []HeatSource) (*SurfaceMap, error) {
+	if cfg.W < 2 || cfg.H < 2 {
+		return nil, fmt.Errorf("thermal: surface grid must be at least 2x2, got %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.KLat <= 0 || cfg.GAmb <= 0 {
+		return nil, fmt.Errorf("thermal: surface conductances must be positive")
+	}
+	power := make([]float64, cfg.W*cfg.H)
+	for _, s := range sources {
+		if s.W <= 0 || s.H <= 0 || s.X < 0 || s.Y < 0 || s.X+s.W > cfg.W || s.Y+s.H > cfg.H {
+			return nil, fmt.Errorf("thermal: heat source %+v outside %dx%d grid", s, cfg.W, cfg.H)
+		}
+		per := s.Watts / float64(s.W*s.H)
+		for y := s.Y; y < s.Y+s.H; y++ {
+			for x := s.X; x < s.X+s.W; x++ {
+				power[y*cfg.W+x] += per
+			}
+		}
+	}
+
+	m := &SurfaceMap{W: cfg.W, H: cfg.H, T: make([]float64, cfg.W*cfg.H)}
+	for i := range m.T {
+		m.T[i] = cfg.Ambient
+	}
+	// Gauss–Seidel with over-relaxation. Each sweep solves
+	//   T_c = (P_c + KLat·ΣT_n + GAmb·Tamb) / (KLat·n + GAmb)
+	const omega = 1.7
+	const maxSweeps = 20000
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var maxDelta float64
+		for y := 0; y < cfg.H; y++ {
+			for x := 0; x < cfg.W; x++ {
+				i := y*cfg.W + x
+				var sumN float64
+				n := 0
+				if x > 0 {
+					sumN += m.T[i-1]
+					n++
+				}
+				if x < cfg.W-1 {
+					sumN += m.T[i+1]
+					n++
+				}
+				if y > 0 {
+					sumN += m.T[i-cfg.W]
+					n++
+				}
+				if y < cfg.H-1 {
+					sumN += m.T[i+cfg.W]
+					n++
+				}
+				tNew := (power[i] + cfg.KLat*sumN + cfg.GAmb*cfg.Ambient) /
+					(cfg.KLat*float64(n) + cfg.GAmb)
+				tNew = m.T[i] + omega*(tNew-m.T[i])
+				if d := math.Abs(tNew - m.T[i]); d > maxDelta {
+					maxDelta = d
+				}
+				m.T[i] = tNew
+			}
+		}
+		if maxDelta < 1e-9 {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("thermal: surface solve did not converge")
+}
+
+// PhoneCoverConfig returns the grid used for the simulated handset's back
+// cover: 16×28 cells over a ~66×133 mm cover. KLat/GAmb are chosen so the
+// total ambient conductance matches the lumped model's cover path and the
+// lateral spreading produces a few-°C center-to-edge gradient, as thermal
+// cameras show on real phones.
+func PhoneCoverConfig(ambient float64) SurfaceConfig {
+	cfg := SurfaceConfig{W: 16, H: 28, Ambient: ambient}
+	cells := float64(cfg.W * cfg.H)
+	// Each cell's sink combines convection to ambient with conduction back
+	// into the frame and air gap (which ultimately reach ambient through
+	// the other faces): a ~3 W dissipation split should produce a mean
+	// cover rise in the low-to-mid teens of °C, as the lumped model does.
+	cfg.GAmb = 0.19 / cells
+	cfg.KLat = 0.12 // plastic cover with a thin graphite spreader
+	return cfg
+}
+
+// PhoneCoverSources projects the handset's main dissipators onto the cover
+// grid for the given component powers (W): the SoC sits in the upper
+// third, the battery fills the middle, the PMIC/RF strip sits beside the
+// SoC.
+func PhoneCoverSources(cfg SurfaceConfig, socW, batteryW, boardW float64) []HeatSource {
+	return []HeatSource{
+		// SoC: upper-centre. The footprint is wider than the die because
+		// heat spreads through the PCB and shield can before reaching the
+		// cover.
+		{X: cfg.W/2 - 3, Y: cfg.H / 6, W: 6, H: 6, Watts: socW},
+		// Battery: broad central slab.
+		{X: 2, Y: cfg.H/2 - 5, W: cfg.W - 4, H: 12, Watts: batteryW},
+		// PMIC / RF strip along the upper edge.
+		{X: 1, Y: 1, W: cfg.W - 2, H: 2, Watts: boardW},
+	}
+}
+
+// Render returns an ASCII heat map: one character per cell from the ramp
+// " .:-=+*#%@" scaled between the map's min and max.
+func (m *SurfaceMap) Render() string {
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range m.T {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "back cover, %.1f–%.1f °C\n", lo, hi)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			idx := int((m.At(x, y) - lo) / (hi - lo) * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

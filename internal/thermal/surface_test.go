@@ -1,0 +1,151 @@
+package thermal
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSolveSurfaceValidation(t *testing.T) {
+	good := SurfaceConfig{W: 8, H: 8, KLat: 0.1, GAmb: 0.01, Ambient: 25}
+	if _, err := SolveSurface(SurfaceConfig{W: 1, H: 8, KLat: 0.1, GAmb: 0.01}, nil); err == nil {
+		t.Fatal("1-wide grid accepted")
+	}
+	bad := good
+	bad.KLat = 0
+	if _, err := SolveSurface(bad, nil); err == nil {
+		t.Fatal("zero lateral conductance accepted")
+	}
+	if _, err := SolveSurface(good, []HeatSource{{X: 7, Y: 7, W: 2, H: 1, Watts: 1}}); err == nil {
+		t.Fatal("out-of-grid source accepted")
+	}
+	if _, err := SolveSurface(good, []HeatSource{{X: 0, Y: 0, W: 0, H: 1, Watts: 1}}); err == nil {
+		t.Fatal("zero-extent source accepted")
+	}
+}
+
+func TestSurfaceNoSourcesIsAmbient(t *testing.T) {
+	cfg := SurfaceConfig{W: 8, H: 10, KLat: 0.1, GAmb: 0.01, Ambient: 23}
+	m, err := SolveSurface(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.T {
+		if math.Abs(v-23) > 1e-6 {
+			t.Fatalf("cell %d = %v want ambient", i, v)
+		}
+	}
+}
+
+func TestSurfaceEnergyBalance(t *testing.T) {
+	// In steady state, total power in equals total convected out:
+	// Σ GAmb·(T_c − Tamb) = Σ sources.
+	cfg := SurfaceConfig{W: 12, H: 20, KLat: 0.15, GAmb: 0.002, Ambient: 25}
+	srcs := []HeatSource{{X: 4, Y: 8, W: 4, H: 4, Watts: 2.5}, {X: 1, Y: 1, W: 2, H: 2, Watts: 0.5}}
+	m, err := SolveSurface(cfg, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out float64
+	for _, v := range m.T {
+		out += cfg.GAmb * (v - cfg.Ambient)
+	}
+	if math.Abs(out-3.0) > 0.01 {
+		t.Fatalf("energy balance: %.4f W out vs 3.0 W in", out)
+	}
+}
+
+func TestSurfaceHottestAtSource(t *testing.T) {
+	cfg := SurfaceConfig{W: 15, H: 15, KLat: 0.1, GAmb: 0.003, Ambient: 25}
+	m, err := SolveSurface(cfg, []HeatSource{{X: 7, Y: 7, W: 1, H: 1, Watts: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, x, y := m.Max()
+	if x != 7 || y != 7 {
+		t.Fatalf("hot spot at (%d,%d) want (7,7)", x, y)
+	}
+	// Temperature decays monotonically along the axis away from the source.
+	prev := m.At(7, 7)
+	for d := 1; d <= 7; d++ {
+		v := m.At(7+d%8, 7) // move right
+		v = m.At(7, 7-d)    // move up
+		if v >= prev {
+			t.Fatalf("no decay at distance %d: %v >= %v", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSurfaceSymmetry(t *testing.T) {
+	// A centered source on a symmetric grid yields a symmetric field.
+	cfg := SurfaceConfig{W: 11, H: 11, KLat: 0.1, GAmb: 0.004, Ambient: 25}
+	m, err := SolveSurface(cfg, []HeatSource{{X: 5, Y: 5, W: 1, H: 1, Watts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 11; y++ {
+		for x := 0; x < 11; x++ {
+			if math.Abs(m.At(x, y)-m.At(10-x, y)) > 1e-6 {
+				t.Fatalf("x-asymmetry at (%d,%d)", x, y)
+			}
+			if math.Abs(m.At(x, y)-m.At(x, 10-y)) > 1e-6 {
+				t.Fatalf("y-asymmetry at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestPhoneCoverMapMidsectionHottest(t *testing.T) {
+	// Under a Skype-like dissipation split the hottest band sits over the
+	// battery/midsection — the paper's skin-temperature measurement point —
+	// and the map's mean rise is in the same class as the lumped model's
+	// cover temperature.
+	cfg := PhoneCoverConfig(25)
+	m, err := SolveSurface(cfg, PhoneCoverSources(cfg, 2.0, 0.4, 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, y := m.Max()
+	if y < cfg.H/6 {
+		t.Fatalf("hot spot at row %d, implausibly near the top edge", y)
+	}
+	mid := m.At(cfg.W/2, cfg.H/2)
+	bottom := m.At(cfg.W/2, cfg.H-1)
+	if mid <= bottom {
+		t.Fatalf("midsection (%.1f) should exceed the bottom edge (%.1f)", mid, bottom)
+	}
+	if mean := m.Mean(); mean < 30 || mean > 50 {
+		t.Fatalf("mean cover temperature %.1f outside the plausible band", mean)
+	}
+}
+
+func TestSurfaceRender(t *testing.T) {
+	cfg := SurfaceConfig{W: 6, H: 4, KLat: 0.1, GAmb: 0.01, Ambient: 25}
+	m, err := SolveSurface(cfg, []HeatSource{{X: 2, Y: 1, W: 2, H: 2, Watts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "°C") {
+		t.Fatalf("header missing range: %q", lines[0])
+	}
+	if !strings.Contains(out, "@") {
+		t.Fatal("render missing the hottest ramp character")
+	}
+}
+
+func TestSurfaceMeanAndMax(t *testing.T) {
+	m := &SurfaceMap{W: 2, H: 2, T: []float64{1, 2, 3, 4}}
+	if m.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	v, x, y := m.Max()
+	if v != 4 || x != 1 || y != 1 {
+		t.Fatalf("Max = %v at (%d,%d)", v, x, y)
+	}
+}

@@ -1,0 +1,117 @@
+package thermal
+
+// System identification: estimate a thermal network's conductances from a
+// logged trace of node temperatures and injected powers. This is the
+// calibration path for porting the model to a new handset — run a few
+// power-stepped workloads with thermistors attached, then fit.
+//
+// The RC dynamics are linear in the conductances: for node i at sample k,
+//
+//	C_i·(T_i[k+1] − T_i[k])/dt − P_i[k] = Σ_e g_e·(T_other[k] − T_i[k])
+//
+// so, with known capacitances, all edge conductances solve one ordinary
+// least-squares problem over every (node, sample) pair.
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// SysIDEdge names one unknown coupling: nodes A–B, or A–ambient when
+// B == AmbientNode.
+type SysIDEdge struct {
+	A, B int
+}
+
+// AmbientNode marks the ambient side of an edge in SysIDEdge.
+const AmbientNode = -1
+
+// SysIDTrace is the logged input for identification.
+type SysIDTrace struct {
+	// DtSec is the (uniform) sampling interval.
+	DtSec float64
+	// Temps[k][i] is node i's temperature at sample k (°C).
+	Temps [][]float64
+	// Powers[k][i] is node i's injected power at sample k (W).
+	Powers [][]float64
+	// Ambient is the ambient temperature (°C), assumed constant.
+	Ambient float64
+}
+
+// FitConductances estimates the conductance (W/K) of every edge from the
+// trace, given the node capacitances (J/K). It returns one conductance per
+// edge, in order. The trace must contain at least two samples and enough
+// thermal excitation to make the problem well posed; a rank-deficient fit
+// falls back to ridge regularization (see mat.LeastSquares).
+func FitConductances(tr SysIDTrace, capsJK []float64, edges []SysIDEdge) ([]float64, error) {
+	n := len(capsJK)
+	if n == 0 {
+		return nil, fmt.Errorf("thermal: sysid needs at least one node")
+	}
+	if len(tr.Temps) < 2 {
+		return nil, fmt.Errorf("thermal: sysid needs at least two samples, got %d", len(tr.Temps))
+	}
+	if tr.DtSec <= 0 {
+		return nil, fmt.Errorf("thermal: sysid needs a positive sampling interval")
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("thermal: sysid needs at least one edge")
+	}
+	for _, e := range edges {
+		if e.A < 0 || e.A >= n || (e.B != AmbientNode && (e.B < 0 || e.B >= n)) || e.A == e.B {
+			return nil, fmt.Errorf("thermal: sysid edge %+v out of range for %d nodes", e, n)
+		}
+	}
+	samples := len(tr.Temps) - 1
+	rows := samples * n
+	a := mat.NewDense(rows, len(edges))
+	y := make([]float64, rows)
+	for k := 0; k < samples; k++ {
+		if len(tr.Temps[k]) != n || len(tr.Powers[k]) != n {
+			return nil, fmt.Errorf("thermal: sysid sample %d has wrong width", k)
+		}
+		for i := 0; i < n; i++ {
+			row := k*n + i
+			dTdt := (tr.Temps[k+1][i] - tr.Temps[k][i]) / tr.DtSec
+			y[row] = capsJK[i]*dTdt - tr.Powers[k][i]
+			for ei, e := range edges {
+				var coeff float64
+				switch {
+				case e.A == i && e.B == AmbientNode:
+					coeff = tr.Ambient - tr.Temps[k][i]
+				case e.A == i:
+					coeff = tr.Temps[k][e.B] - tr.Temps[k][i]
+				case e.B == i:
+					coeff = tr.Temps[k][e.A] - tr.Temps[k][i]
+				}
+				a.Set(row, ei, coeff)
+			}
+		}
+	}
+	g, err := mat.LeastSquares(a, y, 0)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: sysid solve: %w", err)
+	}
+	return g, nil
+}
+
+// CollectSysIDTrace runs the network forward under a power schedule and
+// records the trace at the given sampling interval — the simulation-side
+// analogue of a thermistor logging session. schedule(k) returns the power
+// vector applied during sample k.
+func CollectSysIDTrace(n *Network, dtSec float64, samples int, ambient float64,
+	schedule func(k int) []float64) SysIDTrace {
+	tr := SysIDTrace{DtSec: dtSec, Ambient: ambient}
+	for k := 0; k < samples; k++ {
+		p := schedule(k)
+		for i := 0; i < n.NumNodes(); i++ {
+			n.SetPower(NodeID(i), p[i])
+		}
+		tr.Temps = append(tr.Temps, n.Temps(nil))
+		tr.Powers = append(tr.Powers, append([]float64(nil), p...))
+		n.Step(dtSec)
+	}
+	tr.Temps = append(tr.Temps, n.Temps(nil))
+	return tr
+}

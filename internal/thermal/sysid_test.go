@@ -1,0 +1,179 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// buildKnownNetwork returns a 3-node chain with known parameters plus the
+// ground-truth conductances in edge order.
+func buildKnownNetwork() (*Network, []float64, []float64, []SysIDEdge) {
+	n := NewNetwork(25)
+	a := n.AddNode("a", 2, 25)
+	b := n.AddNode("b", 10, 25)
+	c := n.AddNode("c", 20, 25)
+	n.Connect(a, b, 2.5)    // g = 0.4
+	n.Connect(b, c, 4.0)    // g = 0.25
+	n.ConnectAmbient(c, 10) // g = 0.1
+	caps := []float64{2, 10, 20}
+	truth := []float64{0.4, 0.25, 0.1}
+	edges := []SysIDEdge{{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: AmbientNode}}
+	return n, caps, truth, edges
+}
+
+// steppedSchedule excites the network with power steps so the fit is well
+// posed.
+func steppedSchedule(k int) []float64 {
+	switch (k / 60) % 4 {
+	case 0:
+		return []float64{2, 0, 0}
+	case 1:
+		return []float64{0.2, 0.5, 0}
+	case 2:
+		return []float64{3, 0, 0.3}
+	default:
+		return []float64{0.5, 0, 0}
+	}
+}
+
+func TestFitConductancesRecoversKnownNetwork(t *testing.T) {
+	net, caps, truth, edges := buildKnownNetwork()
+	tr := CollectSysIDTrace(net, 1.0, 600, 25, steppedSchedule)
+	got, err := FitConductances(tr, caps, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range truth {
+		if math.Abs(got[i]-want)/want > 0.05 {
+			t.Fatalf("edge %d: fitted g = %.4f want %.4f (±5%%)", i, got[i], want)
+		}
+	}
+}
+
+func TestFitConductancesFinerSamplingIsMoreAccurate(t *testing.T) {
+	// Finite-difference bias shrinks with the sampling interval.
+	err1 := fitError(t, 2.0, 300)
+	err2 := fitError(t, 0.25, 2400)
+	if err2 >= err1 {
+		t.Fatalf("finer sampling should fit better: %.5f vs %.5f", err2, err1)
+	}
+}
+
+func fitError(t *testing.T, dt float64, samples int) float64 {
+	t.Helper()
+	net, caps, truth, edges := buildKnownNetwork()
+	tr := CollectSysIDTrace(net, dt, samples, 25, steppedSchedule)
+	got, err := FitConductances(tr, caps, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, want := range truth {
+		sum += math.Abs(got[i]-want) / want
+	}
+	return sum / float64(len(truth))
+}
+
+func TestFitConductancesPhoneModelSubset(t *testing.T) {
+	// Identify two key couplings of the full phone model from a simulated
+	// logging session: die–pkg and cover-mid–ambient.
+	cfg := DefaultPhoneConfig()
+	net, p := NewPhone(cfg)
+	caps := []float64{cfg.CapDie, cfg.CapPkg, cfg.CapPCB, cfg.CapBattery,
+		cfg.CapCoverMid, cfg.CapCoverUpper, cfg.CapScreen, cfg.CapFrame}
+	// Excite the die with power steps.
+	schedule := func(k int) []float64 {
+		pw := make([]float64, net.NumNodes())
+		if (k/120)%2 == 0 {
+			pw[p.Die] = 3
+		} else {
+			pw[p.Die] = 0.3
+		}
+		pw[p.Screen] = 0.4
+		return pw
+	}
+	tr := CollectSysIDTrace(net, 0.5, 3600, cfg.Ambient, schedule)
+	edges := []SysIDEdge{
+		{A: int(p.Die), B: int(p.Pkg)},
+		{A: int(p.Pkg), B: int(p.PCB)},
+		{A: int(p.PCB), B: int(p.Battery)},
+		{A: int(p.PCB), B: int(p.CoverMid)},
+		{A: int(p.PCB), B: int(p.CoverUpper)},
+		{A: int(p.Battery), B: int(p.CoverMid)},
+		{A: int(p.PCB), B: int(p.Screen)},
+		{A: int(p.PCB), B: int(p.Frame)},
+		{A: int(p.Frame), B: int(p.CoverMid)},
+		{A: int(p.Frame), B: int(p.Screen)},
+		{A: int(p.CoverMid), B: AmbientNode},
+		{A: int(p.CoverUpper), B: AmbientNode},
+		{A: int(p.Screen), B: AmbientNode},
+		{A: int(p.Frame), B: AmbientNode},
+	}
+	got, err := FitConductances(tr, caps, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		idx  int
+		want float64
+	}{
+		{0, 1 / cfg.ResDiePkg},
+		{10, 1 / cfg.ResAmbCoverMid},
+	}
+	for _, c := range checks {
+		if math.Abs(got[c.idx]-c.want)/c.want > 0.10 {
+			t.Fatalf("edge %d: fitted g = %.4f want %.4f (±10%%)", c.idx, got[c.idx], c.want)
+		}
+	}
+}
+
+func TestFitConductancesInputValidation(t *testing.T) {
+	good := SysIDTrace{DtSec: 1, Ambient: 25,
+		Temps:  [][]float64{{25}, {26}},
+		Powers: [][]float64{{1}, {1}},
+	}
+	caps := []float64{2}
+	edges := []SysIDEdge{{A: 0, B: AmbientNode}}
+
+	if _, err := FitConductances(good, nil, edges); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := FitConductances(SysIDTrace{DtSec: 1, Temps: [][]float64{{25}}}, caps, edges); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	bad := good
+	bad.DtSec = 0
+	if _, err := FitConductances(bad, caps, edges); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+	if _, err := FitConductances(good, caps, nil); err == nil {
+		t.Fatal("no edges accepted")
+	}
+	if _, err := FitConductances(good, caps, []SysIDEdge{{A: 0, B: 7}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := FitConductances(good, caps, []SysIDEdge{{A: 0, B: 0}}); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	wide := good
+	wide.Powers = [][]float64{{1, 2}, {1, 2}}
+	if _, err := FitConductances(wide, caps, edges); err == nil {
+		t.Fatal("wrong-width sample accepted")
+	}
+}
+
+func TestFitConductancesSingleEdge(t *testing.T) {
+	// One node, one ambient edge: g must match exactly (up to the finite
+	// difference).
+	n := NewNetwork(20)
+	a := n.AddNode("a", 5, 60)
+	n.ConnectAmbient(a, 8) // g = 0.125
+	tr := CollectSysIDTrace(n, 0.5, 400, 20, func(int) []float64 { return []float64{0} })
+	got, err := FitConductances(tr, []float64{5}, []SysIDEdge{{A: int(a), B: AmbientNode}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.125)/0.125 > 0.03 {
+		t.Fatalf("single-edge fit = %v want 0.125", got[0])
+	}
+}

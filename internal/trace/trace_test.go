@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndLookup(t *testing.T) {
+	ts := New("skin", "screen")
+	ts.Append(0, 30, 28)
+	ts.Append(1, 31, 29)
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d want 2", ts.Len())
+	}
+	s := ts.Lookup("skin")
+	if s == nil || s.Values[1] != 31 {
+		t.Fatalf("Lookup(skin) = %+v", s)
+	}
+	if ts.Lookup("missing") != nil {
+		t.Fatal("Lookup(missing) should be nil")
+	}
+}
+
+func TestAppendPanicsOnArityMismatch(t *testing.T) {
+	ts := New("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ts.Append(0, 1)
+}
+
+func TestWriteCSV(t *testing.T) {
+	ts := New("skin", "freq")
+	ts.Lookup("skin").Unit = "c"
+	ts.Append(0, 30, 384)
+	ts.Append(3, 31.5, 1512)
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "time_s,skin_c,freq" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "3.000,31.5") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 4, 1, 5})
+	if s.Min != 1 || s.Max != 5 || s.Final != 5 || s.N != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Mean-2.8) > 1e-12 {
+		t.Fatalf("Mean = %v want 2.8", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	vs := []float64{1, 2, 3, 4}
+	if got := FractionAbove(vs, 2); got != 0.5 {
+		t.Fatalf("FractionAbove = %v want 0.5", got)
+	}
+	if got := FractionAbove(vs, 10); got != 0 {
+		t.Fatalf("FractionAbove = %v want 0", got)
+	}
+	if got := FractionAbove(nil, 1); got != 0 {
+		t.Fatalf("FractionAbove(nil) = %v want 0", got)
+	}
+	// Strictly above: equal values do not count.
+	if got := FractionAbove([]float64{2, 2}, 2); got != 0 {
+		t.Fatalf("FractionAbove(eq) = %v want 0", got)
+	}
+}
+
+func TestFirstCrossing(t *testing.T) {
+	times := []float64{0, 1, 2, 3}
+	vals := []float64{30, 33, 36, 39}
+	at, ok := FirstCrossing(times, vals, 35)
+	if !ok || at != 2 {
+		t.Fatalf("FirstCrossing = %v,%v want 2,true", at, ok)
+	}
+	if _, ok := FirstCrossing(times, vals, 100); ok {
+		t.Fatal("FirstCrossing should report no crossing")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(vs, 50); got != 5 {
+		t.Fatalf("P50 = %v want 5", got)
+	}
+	if got := Percentile(vs, 0); got != 1 {
+		t.Fatalf("P0 = %v want 1", got)
+	}
+	if got := Percentile(vs, 100); got != 10 {
+		t.Fatalf("P100 = %v want 10", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	Percentile(vs, 50)
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("Sparkline = %q", got)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("zero-width sparkline should be empty string")
+	}
+}
+
+func TestSparklineFlat(t *testing.T) {
+	got := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if got != "▁▁▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+}
+
+func TestChartContainsExtremes(t *testing.T) {
+	out := Chart([]float64{10, 20, 30, 40, 50}, 5, 4)
+	if !strings.Contains(out, "50.00") || !strings.Contains(out, "10.00") {
+		t.Fatalf("chart missing extremes:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("chart should have 4 lines:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if Chart(nil, 10, 5) != "" {
+		t.Fatal("empty chart should be empty string")
+	}
+}
+
+// Property: Summarize bounds hold — Min <= Mean <= Max and Final is a
+// member of the slice.
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Final == clean[len(clean)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FractionAbove is antitone in the threshold.
+func TestFractionAboveAntitoneProperty(t *testing.T) {
+	vs := []float64{30, 31, 33, 35, 37, 39, 41, 43}
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return FractionAbove(vs, lo) >= FractionAbove(vs, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package users
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopulationMatchesPublishedEnvelope(t *testing.T) {
+	pop := StudyPopulation()
+	if len(pop) != 10 {
+		t.Fatalf("population size = %d want 10", len(pop))
+	}
+	lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, u := range pop {
+		lo = math.Min(lo, u.SkinLimitC)
+		hi = math.Max(hi, u.SkinLimitC)
+		sum += u.SkinLimitC
+	}
+	if lo != 34.0 {
+		t.Fatalf("min skin limit = %v want 34.0 (paper Figure 1)", lo)
+	}
+	if hi != 42.8 {
+		t.Fatalf("max skin limit = %v want 42.8 (paper Figure 1)", hi)
+	}
+	if math.Abs(sum/10-DefaultLimitC) > 1e-9 {
+		t.Fatalf("mean skin limit = %v want exactly %v (the default user)", sum/10, DefaultLimitC)
+	}
+}
+
+func TestHighThresholdUsersMatchNarrative(t *testing.T) {
+	// Paper §IV-B: a, d, e, i saw no USTA action (high thresholds); g had
+	// the very highest threshold. So {a,d,e,g,i} must be the top five.
+	pop := StudyPopulation()
+	type kv struct {
+		id string
+		v  float64
+	}
+	all := make([]kv, 0, 10)
+	for _, u := range pop {
+		all = append(all, kv{u.ID, u.SkinLimitC})
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].v > all[i].v {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if all[0].id != "g" {
+		t.Fatalf("highest threshold belongs to %q want g", all[0].id)
+	}
+	top5 := map[string]bool{}
+	for _, e := range all[:5] {
+		top5[e.id] = true
+	}
+	for _, id := range []string{"a", "d", "e", "g", "i"} {
+		if !top5[id] {
+			t.Fatalf("user %s missing from the top-5 thresholds: %+v", id, all[:5])
+		}
+	}
+}
+
+func TestScreenLimitsBelowSkinLimits(t *testing.T) {
+	for _, u := range StudyPopulation() {
+		if u.ScreenLimitC >= u.SkinLimitC {
+			t.Fatalf("user %s screen limit %v not below skin limit %v", u.ID, u.ScreenLimitC, u.SkinLimitC)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	u, ok := ByID("g")
+	if !ok || u.SkinLimitC != 42.8 {
+		t.Fatalf("ByID(g) = %+v, %v", u, ok)
+	}
+	if _, ok := ByID("z"); ok {
+		t.Fatal("ByID(z) should not exist")
+	}
+}
+
+func TestRatingPerfectComfort(t *testing.T) {
+	if got := Rating(Comfort{}); got != 5 {
+		t.Fatalf("no-discomfort rating = %v want 5", got)
+	}
+}
+
+func TestRatingDiscomfortCosts(t *testing.T) {
+	mild := Rating(Comfort{OverFrac: 0.1, MeanExcessC: 0.3})
+	heavy := Rating(Comfort{OverFrac: 0.7, MeanExcessC: 3})
+	if mild <= heavy {
+		t.Fatalf("mild %v should beat heavy %v", mild, heavy)
+	}
+	if heavy >= 4.5 {
+		t.Fatalf("70%% over-limit time should cost more than half a point: %v", heavy)
+	}
+}
+
+func TestRatingPerformanceThreshold(t *testing.T) {
+	// Below the 50% noticeability floor performance loss is free — the
+	// paper's participants never noticed USTA's scaling.
+	base := Rating(Comfort{OverFrac: 0.2})
+	small := Rating(Comfort{OverFrac: 0.2, Slowdown: 0.45})
+	if base != small {
+		t.Fatalf("sub-threshold slowdown changed the rating: %v vs %v", base, small)
+	}
+	big := Rating(Comfort{OverFrac: 0.2, Slowdown: 0.9})
+	if big >= base {
+		t.Fatalf("90%% slowdown should hurt: %v vs %v", big, base)
+	}
+}
+
+func TestRatingHalfPointGrid(t *testing.T) {
+	for _, c := range []Comfort{{}, {OverFrac: 0.33, MeanExcessC: 1.1}, {OverFrac: 0.9, MeanExcessC: 4, Slowdown: 0.4}} {
+		r := Rating(c)
+		if math.Abs(r*2-math.Round(r*2)) > 1e-9 {
+			t.Fatalf("rating %v not on the half-point grid", r)
+		}
+		if r < 1 || r > 5 {
+			t.Fatalf("rating %v outside 1..5", r)
+		}
+	}
+}
+
+func TestPreferDerivedFromRatings(t *testing.T) {
+	u, _ := ByID("b")
+	if got := Prefer(u, 3.5, 4.5); got != PrefersUSTA {
+		t.Fatalf("Prefer = %v want usta", got)
+	}
+	if got := Prefer(u, 4.5, 3.5); got != PrefersBaseline {
+		t.Fatalf("Prefer = %v want baseline", got)
+	}
+	if got := Prefer(u, 4, 4); got != NoDifference {
+		t.Fatalf("Prefer = %v want no-difference", got)
+	}
+}
+
+func TestPreferQuirkUsers(t *testing.T) {
+	// Paper: users c and g preferred the baseline regardless of ratings.
+	for _, id := range []string{"c", "g"} {
+		u, _ := ByID(id)
+		if got := Prefer(u, 3, 5); got != PrefersBaseline {
+			t.Fatalf("user %s: Prefer = %v want baseline (documented quirk)", id, got)
+		}
+	}
+}
+
+func TestPreferenceString(t *testing.T) {
+	if NoDifference.String() != "no-difference" || PrefersUSTA.String() != "usta" || PrefersBaseline.String() != "baseline" {
+		t.Fatal("Preference.String broken")
+	}
+}
+
+// Property: ratings are monotone non-increasing in every discomfort
+// dimension.
+func TestRatingMonotoneProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		of := math.Mod(math.Abs(a), 1)
+		ex := math.Mod(math.Abs(b), 5)
+		sl := math.Mod(math.Abs(c), 1)
+		base := Rating(Comfort{OverFrac: of, MeanExcessC: ex, Slowdown: sl})
+		worse := Rating(Comfort{OverFrac: math.Min(1, of+0.1), MeanExcessC: ex + 0.5, Slowdown: math.Min(1, sl+0.1)})
+		return worse <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+// Trace replay: turn a logged demand trace (e.g. utilization sampled from
+// a real phone, or a trace exported from another simulator) into a
+// Workload. Samples are held piecewise-constant between timestamps.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TracePoint is one sample of a replayed trace.
+type TracePoint struct {
+	TimeSec float64
+	Sample  Sample
+}
+
+// Replay is a Workload that plays back a recorded trace.
+type Replay struct {
+	name   string
+	points []TracePoint
+	dur    float64
+}
+
+// NewReplay builds a replay workload from trace points. Points are sorted
+// by time; the workload ends at the last point's timestamp (its sample is
+// held for zero duration — append a final point to extend). At least two
+// points are required.
+func NewReplay(name string, points []TracePoint) (*Replay, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: replay needs at least 2 points, got %d", len(points))
+	}
+	ps := append([]TracePoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].TimeSec < ps[j].TimeSec })
+	if ps[0].TimeSec < 0 {
+		return nil, fmt.Errorf("workload: replay has negative timestamp %v", ps[0].TimeSec)
+	}
+	return &Replay{name: name, points: ps, dur: ps[len(ps)-1].TimeSec}, nil
+}
+
+// Name implements Workload.
+func (r *Replay) Name() string { return r.name }
+
+// Duration implements Workload.
+func (r *Replay) Duration() float64 { return r.dur }
+
+// At implements Workload with piecewise-constant (zero-order) hold.
+func (r *Replay) At(t float64) Sample {
+	if t < 0 || t >= r.dur {
+		return Sample{}
+	}
+	// Binary search for the last point with TimeSec <= t.
+	lo, hi := 0, len(r.points)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.points[mid].TimeSec <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return r.points[lo].Sample
+}
+
+// ReadReplayCSV parses a replay trace from CSV with the header
+//
+//	time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch
+//
+// where touch is 0 or 1. Blank lines and lines starting with '#' are
+// skipped.
+func ReadReplayCSV(name string, r io.Reader) (*Replay, error) {
+	sc := bufio.NewScanner(r)
+	var points []TracePoint
+	line := 0
+	headerSeen := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !headerSeen {
+			headerSeen = true
+			if strings.HasPrefix(strings.ToLower(text), "time_s") {
+				continue // header row
+			}
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 7 {
+			return nil, fmt.Errorf("workload: replay line %d: want 7 fields, got %d", line, len(parts))
+		}
+		vals := make([]float64, 7)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: replay line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		points = append(points, TracePoint{
+			TimeSec: vals[0],
+			Sample: Sample{
+				CPUFrac:     vals[1],
+				GPULoad:     vals[2],
+				AuxWatts:    vals[3],
+				ChargeWatts: vals[4],
+				Display:     vals[5],
+				Touch:       vals[6] != 0,
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewReplay(name, points)
+}
+
+// WriteReplayCSV samples any workload at the given interval and writes it
+// in the replay CSV format — useful for exporting the synthetic profiles
+// to other tools or for regression-pinning a profile.
+func WriteReplayCSV(w io.Writer, wl Workload, intervalSec float64) error {
+	if intervalSec <= 0 {
+		intervalSec = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch")
+	for t := 0.0; t <= wl.Duration(); t += intervalSec {
+		s := wl.At(t)
+		touch := 0
+		if s.Touch {
+			touch = 1
+		}
+		fmt.Fprintf(bw, "%.3f,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
+			t, s.CPUFrac, s.GPULoad, s.AuxWatts, s.ChargeWatts, s.Display, touch)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestReplayBasics(t *testing.T) {
+	r, err := NewReplay("trace", []TracePoint{
+		{TimeSec: 0, Sample: Sample{CPUFrac: 0.2}},
+		{TimeSec: 10, Sample: Sample{CPUFrac: 0.8}},
+		{TimeSec: 20, Sample: Sample{CPUFrac: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "trace" || r.Duration() != 20 {
+		t.Fatalf("identity: %q %v", r.Name(), r.Duration())
+	}
+	if got := r.At(5).CPUFrac; got != 0.2 {
+		t.Fatalf("At(5) = %v want 0.2 (zero-order hold)", got)
+	}
+	if got := r.At(10).CPUFrac; got != 0.8 {
+		t.Fatalf("At(10) = %v want 0.8", got)
+	}
+	if got := r.At(19.9).CPUFrac; got != 0.8 {
+		t.Fatalf("At(19.9) = %v want 0.8", got)
+	}
+	if r.At(-1) != (Sample{}) || r.At(20) != (Sample{}) {
+		t.Fatal("outside-range samples must be idle")
+	}
+}
+
+func TestReplaySortsPoints(t *testing.T) {
+	r, err := NewReplay("x", []TracePoint{
+		{TimeSec: 10, Sample: Sample{CPUFrac: 0.9}},
+		{TimeSec: 0, Sample: Sample{CPUFrac: 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.At(1).CPUFrac; got != 0.1 {
+		t.Fatalf("At(1) = %v want 0.1 after sorting", got)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := NewReplay("x", []TracePoint{{TimeSec: 0}}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := NewReplay("x", []TracePoint{{TimeSec: -5}, {TimeSec: 1}}); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestReplayCSVRoundTrip(t *testing.T) {
+	orig := Skype(3)
+	var sb strings.Builder
+	if err := WriteReplayCSV(&sb, Truncated{W: orig, Dur: 120}, 1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReplayCSV("skype-replay", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replayed workload must match the original at the sampled grid up
+	// to the CSV's 4-decimal rounding.
+	const tol = 5e-5
+	for tt := 0.0; tt < 119; tt += 1 {
+		a := orig.At(tt)
+		b := back.At(tt)
+		if abs(a.CPUFrac-b.CPUFrac) > tol || a.Touch != b.Touch || abs(a.AuxWatts-b.AuxWatts) > tol {
+			t.Fatalf("replay diverges at t=%v: %+v vs %+v", tt, a, b)
+		}
+	}
+}
+
+func TestReadReplayCSVErrors(t *testing.T) {
+	cases := []string{
+		"time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch\n1,2,3\n",         // arity
+		"time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch\nx,0,0,0,0,0,0\n", // bad number
+		"time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch\n0,0,0,0,0,0,0\n", // single point
+	}
+	for i, in := range cases {
+		if _, err := ReadReplayCSV("bad", strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadReplayCSVSkipsCommentsAndHeader(t *testing.T) {
+	in := `# exported trace
+time_s,cpu_frac,gpu_load,aux_w,charge_w,display,touch
+0,0.5,0,0,0,0.7,1
+
+10,0.1,0,0,0,0.7,0
+`
+	r, err := ReadReplayCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Duration() != 10 {
+		t.Fatalf("Duration = %v", r.Duration())
+	}
+	if !r.At(0).Touch {
+		t.Fatal("touch flag lost")
+	}
+}
+
+func TestDailyMixShape(t *testing.T) {
+	w := DailyMix(1)
+	if w.Name() != "daily-mix" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+	// The charging tail must be screen-off with charge heat.
+	tail := w.At(w.Duration() - 100)
+	if tail.ChargeWatts <= 0 || tail.Display != 0 {
+		t.Fatalf("charging tail sample = %+v", tail)
+	}
+	// The call phase must be the warm middle stretch.
+	call := w.At(2500)
+	if call.AuxWatts < 0.5 || !call.Touch {
+		t.Fatalf("call-phase sample = %+v", call)
+	}
+}

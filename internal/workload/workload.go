@@ -1,0 +1,223 @@
+// Package workload generates the demand traces the simulated phone executes.
+//
+// A workload is a pure function of time: At(t) returns the instantaneous
+// resource demand (CPU work, GPU load, board-level "aux" power for camera /
+// radio / flashlight, battery charging heat, display brightness, and whether
+// the user is holding the device). Determinism matters — every experiment in
+// the reproduction is seeded — so stochastic jitter is computed from a hash
+// of (seed, time slot) rather than from mutable RNG state.
+//
+// The package ships phase-structured models of the paper's thirteen
+// evaluation workloads (AnTuTu variants, AnTuTu Tester, GFXBench, Vellamo,
+// Skype, YouTube, Record, Charging, and a game) plus synthetic generators
+// used to diversify the ML training corpus.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is the instantaneous demand of a workload.
+type Sample struct {
+	// CPUFrac is the requested CPU work as a fraction of the SoC's maximum
+	// aggregate capacity (all cores at top frequency). Values above 1 are
+	// legal (the workload wants more than the hardware can deliver).
+	CPUFrac float64
+	// GPULoad is the GPU busy fraction in [0,1].
+	GPULoad float64
+	// AuxWatts is board-level power: camera, ISP, radio, GPS, flashlight.
+	AuxWatts float64
+	// ChargeWatts is heat dissipated inside the battery by charging.
+	ChargeWatts float64
+	// Display is the screen brightness in [0,1]; 0 means screen off.
+	Display float64
+	// Touch reports whether the user's palm is on the back cover.
+	Touch bool
+}
+
+// Phase is one segment of a workload program. CPU demand is Base unless
+// BurstPeriod > 0, in which case it alternates between BurstHigh (for
+// BurstDuty of each period) and BurstLow. Uniform jitter of ±CPUJitter
+// (±GPUJitter) is added on top, re-rolled every jitter slot (1 s).
+type Phase struct {
+	Name string
+	Dur  float64 // seconds; must be positive
+
+	CPU       float64
+	CPUJitter float64
+	GPU       float64
+	GPUJitter float64
+
+	BurstPeriod float64
+	BurstDuty   float64
+	BurstHigh   float64
+	BurstLow    float64
+
+	Aux     float64
+	Charge  float64
+	Display float64
+	Touch   bool
+}
+
+// Workload is a deterministic demand trace.
+type Workload interface {
+	// Name identifies the workload in logs and reports.
+	Name() string
+	// Duration returns the trace length in seconds.
+	Duration() float64
+	// At returns the demand at time t seconds. Beyond Duration the workload
+	// is idle (zero demand, screen off).
+	At(t float64) Sample
+}
+
+// Program is a seeded, phase-structured Workload.
+type Program struct {
+	name    string
+	seed    uint64
+	phases  []Phase
+	offsets []float64 // cumulative start time of each phase
+	total   float64
+}
+
+// New builds a Program from phases. It panics if any phase has a
+// non-positive duration, since that is always a programming error in a
+// hard-coded profile.
+func New(name string, seed uint64, phases ...Phase) *Program {
+	if len(phases) == 0 {
+		panic("workload: program needs at least one phase")
+	}
+	p := &Program{name: name, seed: seed, phases: phases}
+	p.offsets = make([]float64, len(phases))
+	var acc float64
+	for i, ph := range phases {
+		if ph.Dur <= 0 {
+			panic(fmt.Sprintf("workload: phase %q has non-positive duration %v", ph.Name, ph.Dur))
+		}
+		p.offsets[i] = acc
+		acc += ph.Dur
+	}
+	p.total = acc
+	return p
+}
+
+// Name implements Workload.
+func (p *Program) Name() string { return p.name }
+
+// Duration implements Workload.
+func (p *Program) Duration() float64 { return p.total }
+
+// splitmix64 is the 64-bit finalizer used for deterministic value noise.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// noise returns a deterministic uniform value in [0,1) for (seed, slot, lane).
+func noise(seed uint64, slot int64, lane uint64) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(slot)+lane*0x9e3779b97f4a7c15))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// At implements Workload.
+func (p *Program) At(t float64) Sample {
+	if t < 0 || t >= p.total {
+		return Sample{}
+	}
+	// Locate the phase by binary search over the offsets.
+	lo, hi := 0, len(p.phases)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.offsets[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ph := p.phases[lo]
+	local := t - p.offsets[lo]
+
+	cpu := ph.CPU
+	if ph.BurstPeriod > 0 {
+		pos := math.Mod(local, ph.BurstPeriod) / ph.BurstPeriod
+		if pos < ph.BurstDuty {
+			cpu = ph.BurstHigh
+		} else {
+			cpu = ph.BurstLow
+		}
+	}
+	slot := int64(math.Floor(t)) // jitter re-rolled each second
+	if ph.CPUJitter > 0 {
+		cpu += ph.CPUJitter * (2*noise(p.seed, slot, uint64(lo)*3+1) - 1)
+	}
+	gpu := ph.GPU
+	if ph.GPUJitter > 0 {
+		gpu += ph.GPUJitter * (2*noise(p.seed, slot, uint64(lo)*3+2) - 1)
+	}
+	if cpu < 0 {
+		cpu = 0
+	}
+	if gpu < 0 {
+		gpu = 0
+	}
+	if gpu > 1 {
+		gpu = 1
+	}
+	return Sample{
+		CPUFrac:     cpu,
+		GPULoad:     gpu,
+		AuxWatts:    ph.Aux,
+		ChargeWatts: ph.Charge,
+		Display:     ph.Display,
+		Touch:       ph.Touch,
+	}
+}
+
+// PhaseAt returns the name of the phase active at time t, or "" outside the
+// program.
+func (p *Program) PhaseAt(t float64) string {
+	if t < 0 || t >= p.total {
+		return ""
+	}
+	for i := len(p.offsets) - 1; i >= 0; i-- {
+		if p.offsets[i] <= t {
+			return p.phases[i].Name
+		}
+	}
+	return ""
+}
+
+// Repeat returns a program consisting of n back-to-back copies of p's
+// phases.
+func (p *Program) Repeat(n int) *Program {
+	if n <= 0 {
+		panic("workload: Repeat needs n >= 1")
+	}
+	phases := make([]Phase, 0, len(p.phases)*n)
+	for i := 0; i < n; i++ {
+		phases = append(phases, p.phases...)
+	}
+	return New(p.name, p.seed, phases...)
+}
+
+// Truncated wraps a workload, clipping it to the given duration.
+type Truncated struct {
+	W   Workload
+	Dur float64
+}
+
+// Name implements Workload.
+func (tr Truncated) Name() string { return tr.W.Name() }
+
+// Duration implements Workload.
+func (tr Truncated) Duration() float64 { return tr.Dur }
+
+// At implements Workload.
+func (tr Truncated) At(t float64) Sample {
+	if t < 0 || t >= tr.Dur {
+		return Sample{}
+	}
+	return tr.W.At(t)
+}

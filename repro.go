@@ -1,0 +1,230 @@
+// Package repro is the public API of the USTA reproduction: a simulation
+// study of "User-Specific Skin Temperature-Aware DVFS for Smartphones"
+// (Egilmez, Memik, Ogrenci-Memik, Ergin — DATE 2015).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - a simulated Nexus-4-class handset (thermal RC network + DVFS-capable
+//     SoC + sensors + cpufreq governor): NewPhone, DefaultDeviceConfig
+//   - the paper's thirteen evaluation workloads plus synthetic generators:
+//     Benchmarks, WorkloadByName
+//   - the training pipeline for the run-time skin/screen temperature
+//     predictor: CollectCorpus, TrainPredictor
+//   - the USTA controller itself: NewUSTA (attach with Phone.SetController)
+//   - the ten-participant study population: StudyPopulation, DefaultLimitC
+//   - one runner per published table/figure: NewPipeline, RunFig1…RunFig5,
+//     RunTable1
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	cfg := repro.DefaultDeviceConfig()
+//	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 0)
+//	pred, _ := repro.TrainPredictor(corpus)
+//	phone := repro.NewPhone(cfg)
+//	phone.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
+//	res := phone.Run(repro.WorkloadByName("skype", 7), 0)
+//	fmt.Printf("peak skin %.1f °C at %.2f GHz average\n",
+//		res.MaxSkinC, res.AvgFreqMHz/1000)
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/m5p"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/tree"
+	"repro/internal/sensors"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The aliases keep one canonical implementation in
+// the internal packages while giving external users a single import.
+type (
+	// Phone is the simulated handset.
+	Phone = device.Phone
+	// DeviceConfig parameterizes the handset.
+	DeviceConfig = device.Config
+	// RunResult aggregates one workload execution.
+	RunResult = device.RunResult
+	// Controller is the thermal-management hook (USTA implements it).
+	Controller = device.Controller
+
+	// Workload is a deterministic demand trace.
+	Workload = workload.Workload
+	// WorkloadProgram is a phase-structured workload.
+	WorkloadProgram = workload.Program
+
+	// Record is one line of the on-device logging app.
+	Record = sensors.Record
+
+	// Predictor predicts skin/screen temperature from a Record.
+	Predictor = core.Predictor
+	// USTA is the skin-temperature-aware DVFS controller.
+	USTA = core.USTA
+	// Policy maps limit margin to a frequency clamp.
+	Policy = core.Policy
+
+	// User is one study participant.
+	User = users.User
+
+	// Regressor is a trainable regression model.
+	Regressor = ml.Regressor
+
+	// ExperimentConfig parameterizes the evaluation pipeline.
+	ExperimentConfig = experiments.Config
+	// Pipeline caches the corpus and predictor across experiments.
+	Pipeline = experiments.Pipeline
+)
+
+// DefaultLimitC is the "default user" comfort limit (37 °C), the average of
+// the study population's reported limits.
+const DefaultLimitC = users.DefaultLimitC
+
+// DefaultDeviceConfig returns the calibrated Nexus-4-like device
+// configuration.
+func DefaultDeviceConfig() DeviceConfig { return device.DefaultConfig() }
+
+// NewPhone builds a simulated handset with the stock ondemand governor.
+func NewPhone(cfg DeviceConfig) *Phone { return device.MustNew(cfg, nil) }
+
+// Benchmarks returns the paper's thirteen evaluation workloads.
+func Benchmarks(seed uint64) []Workload {
+	bs := workload.Benchmarks(seed)
+	out := make([]Workload, len(bs))
+	for i, b := range bs {
+		out[i] = b
+	}
+	return out
+}
+
+// BenchmarkNames lists the thirteen workload names in Table 1 column order.
+func BenchmarkNames() []string {
+	return append([]string(nil), workload.BenchmarkNames...)
+}
+
+// WorkloadByName returns one of the thirteen paper workloads by name, or
+// nil for unknown names.
+func WorkloadByName(name string, seed uint64) Workload {
+	w := workload.ByName(name, seed)
+	if w == nil {
+		return nil
+	}
+	return w
+}
+
+// CollectCorpus runs the workloads under the stock governor and returns the
+// training log (maxPerRunSec <= 0 runs each in full).
+func CollectCorpus(cfg DeviceConfig, loads []Workload, maxPerRunSec float64) []Record {
+	return core.CollectCorpus(cfg, loads, maxPerRunSec)
+}
+
+// TrainPredictor fits the paper's REPTree predictor on a corpus.
+func TrainPredictor(corpus []Record) (*Predictor, error) {
+	return core.Train(corpus, nil)
+}
+
+// TrainPredictorWith fits a predictor using a custom model factory.
+func TrainPredictorWith(corpus []Record, factory func() Regressor) (*Predictor, error) {
+	return core.Train(corpus, factory)
+}
+
+// NewUSTA returns the paper-configured controller (3 s period, ladder
+// policy) for the given skin limit.
+func NewUSTA(pred *Predictor, skinLimitC float64) *USTA {
+	return core.NewUSTA(pred, skinLimitC)
+}
+
+// NewRecalibrator wraps a USTA controller with periodic predictor
+// retraining from the phone's own instrumented log (see core.Recalibrator).
+func NewRecalibrator(u *USTA) *core.Recalibrator { return core.NewRecalibrator(u) }
+
+// SavePredictor serializes a trained predictor as JSON.
+func SavePredictor(w io.Writer, p *Predictor) error { return core.SavePredictor(w, p) }
+
+// LoadPredictor deserializes a predictor saved by SavePredictor.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return core.LoadPredictor(r) }
+
+// StudyPopulation returns the ten study participants.
+func StudyPopulation() []User { return users.StudyPopulation() }
+
+// DefaultExperimentConfig returns the paper-scale experiment configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// NewPipeline creates an experiment pipeline (corpus and predictor are
+// built lazily and cached).
+func NewPipeline(cfg ExperimentConfig) *Pipeline { return experiments.NewPipeline(cfg) }
+
+// RunFig1 reproduces Figure 1 (per-user comfort limits / user study).
+func RunFig1(pl *Pipeline) *experiments.Fig1Result { return experiments.RunFig1(pl) }
+
+// RunFig2 reproduces Figure 2 (% time over limit, 11 settings).
+func RunFig2(pl *Pipeline) *experiments.Fig2Result { return experiments.RunFig2(pl) }
+
+// RunFig3 reproduces Figure 3 (prediction-model error rates).
+func RunFig3(pl *Pipeline) *experiments.Fig3Result { return experiments.RunFig3(pl) }
+
+// RunFig4 reproduces Figure 4 (Skype traces, baseline vs USTA).
+func RunFig4(pl *Pipeline) *experiments.Fig4Result { return experiments.RunFig4(pl) }
+
+// RunFig5 reproduces Figure 5 (user ratings and preferences).
+func RunFig5(pl *Pipeline) *experiments.Fig5Result { return experiments.RunFig5(pl) }
+
+// RunTable1 reproduces Table 1 (13 workloads × baseline/USTA).
+func RunTable1(pl *Pipeline) *experiments.Table1Result { return experiments.RunTable1(pl) }
+
+// Controller clamp policies (for USTA.Policy): the paper's ladder, the
+// single-step and proportional ablations, and the margin-parameterized
+// generalization.
+var (
+	// LadderPolicy is the paper's §III-B laddered clamp.
+	LadderPolicy Policy = core.LadderPolicy
+	// HardPolicy clamps straight to the minimum inside the margin.
+	HardPolicy Policy = core.HardPolicy
+	// ProportionalPolicy scales the clamp linearly with the margin.
+	ProportionalPolicy Policy = core.ProportionalPolicy
+)
+
+// MarginLadder returns a ladder policy with a custom activation margin
+// (the paper's controller is MarginLadder(2)).
+func MarginLadder(marginC float64) Policy { return core.MarginLadder(marginC) }
+
+// NewREPTreeRegressor returns the paper's run-time model (REPTree).
+func NewREPTreeRegressor(seed int64) Regressor { return tree.New(seed) }
+
+// NewM5PRegressor returns an M5P model tree.
+func NewM5PRegressor() Regressor { return m5p.New() }
+
+// NewLinearRegressor returns an OLS linear regression model.
+func NewLinearRegressor() Regressor { return linreg.New() }
+
+// NewMLPRegressor returns a WEKA-default multilayer perceptron.
+func NewMLPRegressor(seed int64) Regressor { return mlp.New(seed) }
+
+// SquareWave, StaircaseRamp, RandomPhases and Idle build synthetic
+// workloads for custom experiments and training-corpus diversification.
+func SquareWave(seed uint64, period, duty, high, low, dur float64) Workload {
+	return workload.SquareWave(seed, period, duty, high, low, dur)
+}
+
+// StaircaseRamp steps CPU demand from lo to hi across the given steps.
+func StaircaseRamp(seed uint64, lo, hi float64, steps int, stepDur float64) Workload {
+	return workload.StaircaseRamp(seed, lo, hi, steps, stepDur)
+}
+
+// RandomPhases builds a seeded random phase mix.
+func RandomPhases(seed uint64, n int, phaseDur float64) Workload {
+	return workload.RandomPhases(seed, n, phaseDur)
+}
+
+// Idle builds a screen-off idle workload.
+func Idle(dur float64) Workload { return workload.Idle(dur) }
+
+// DailyMix builds a ~100-minute mixed-usage session (idle, browsing,
+// video, a call, gaming, charging) for end-to-end scenarios.
+func DailyMix(seed uint64) Workload { return workload.DailyMix(seed) }
