@@ -8,6 +8,8 @@
 package repro_test
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -304,6 +306,49 @@ func BenchmarkAblationPerUser(b *testing.B) {
 		b.ReportMetric(over*100, "mean-over-%")
 		b.ReportMetric(ghz, "mean-GHz")
 	})
+}
+
+// BenchmarkFleetRun measures fleet throughput (jobs/sec) at 1, 4 and
+// GOMAXPROCS workers on a fixed 16-job population batch, so future PRs can
+// track the engine's scaling. The jobs are 5-minute Skype slices across
+// the study population under per-user USTA — the paper's workload shape.
+func BenchmarkFleetRun(b *testing.B) {
+	pl := benchPipeline(b)
+	pred := pl.Predictor()
+	pop := repro.StudyPopulation()
+	jobs := make([]repro.Job, 16)
+	for i := range jobs {
+		u := pop[i%len(pop)]
+		jobs[i] = repro.Job{
+			Name:     u.ID,
+			User:     u,
+			Workload: repro.WorkloadByName("skype", uint64(i)),
+			DurSec:   300,
+			Controller: func(u repro.User) repro.Controller {
+				return repro.NewUSTA(pred, u.SkinLimitC)
+			},
+		}
+	}
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			fl := repro.NewFleet(repro.FleetConfig{Workers: workers, Seed: 42})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := fl.Run(ctx, jobs)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		})
+	}
 }
 
 // BenchmarkSysIDCalibration measures the thermal system-identification

@@ -4,31 +4,71 @@
 //
 //	ustamap -workload skype
 //	ustamap -workload antutu-cpu -ambient 30
+//	ustamap -workload all            # all 13 maps, solved in parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "skype", "one of the 13 paper workloads")
+		name    = flag.String("workload", "skype", "one of the 13 paper workloads, a comma-separated list, or \"all\"")
 		ambient = flag.Float64("ambient", 25, "ambient temperature in °C")
 		seed    = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
 
-	w := workload.ByName(*name, uint64(*seed))
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "ustamap: unknown workload %q (choose from %v)\n", *name, workload.BenchmarkNames)
-		os.Exit(1)
+	var names []string
+	if *name == "all" {
+		names = append(names, workload.BenchmarkNames...)
+	} else {
+		names = strings.Split(*name, ",")
+	}
+	loads := make([]workload.Workload, len(names))
+	for i, n := range names {
+		// ByName returns a concrete *Program; assign only after the nil
+		// check so a miss doesn't become a typed-nil interface.
+		w := workload.ByName(strings.TrimSpace(n), uint64(*seed))
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "ustamap: unknown workload %q (choose from %v)\n", n, workload.BenchmarkNames)
+			os.Exit(1)
+		}
+		loads[i] = w
 	}
 
+	// The surface solves are independent linear systems; fan them out and
+	// print in input order.
+	type outcome struct {
+		text string
+		err  error
+	}
+	outcomes := make([]outcome, len(loads))
+	fleet.ForEach(len(loads), 0, func(i int) {
+		text, err := renderMap(loads[i], *ambient)
+		outcomes[i] = outcome{text, err}
+	})
+	for i, o := range outcomes {
+		if o.err != nil {
+			fmt.Fprintln(os.Stderr, "ustamap:", o.err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(o.text)
+	}
+}
+
+// renderMap solves and formats one workload's cover map.
+func renderMap(w workload.Workload, ambient float64) (string, error) {
 	// Average the demand over the workload to build a representative
 	// dissipation split.
 	var cpu, gpu, aux, charge float64
@@ -48,15 +88,16 @@ func main() {
 	batteryW := charge + 0.1 // charge heat plus discharge losses
 	boardW := aux
 
-	cfg := thermal.PhoneCoverConfig(*ambient)
+	cfg := thermal.PhoneCoverConfig(ambient)
 	m, err := thermal.SolveSurface(cfg, thermal.PhoneCoverSources(cfg, socW, batteryW, boardW))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ustamap:", err)
-		os.Exit(1)
+		return "", err
 	}
-	fmt.Printf("%s at %.0f °C ambient — SoC %.2f W, battery %.2f W, board %.2f W\n\n",
-		w.Name(), *ambient, socW, batteryW, boardW)
-	fmt.Print(m.Render())
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %.0f °C ambient — SoC %.2f W, battery %.2f W, board %.2f W\n\n",
+		w.Name(), ambient, socW, batteryW, boardW)
+	b.WriteString(m.Render())
 	peak, x, y := m.Max()
-	fmt.Printf("\nhottest cell: %.1f °C at (%d,%d); surface mean %.1f °C\n", peak, x, y, m.Mean())
+	fmt.Fprintf(&b, "\nhottest cell: %.1f °C at (%d,%d); surface mean %.1f °C\n", peak, x, y, m.Mean())
+	return b.String(), nil
 }

@@ -6,9 +6,13 @@
 //	ustasim -experiment fig4 -csv out/       # Skype traces + CSV dump
 //	ustasim -experiment table1 -scale 0.5    # all 13 workloads, half length
 //	ustasim -experiment all                  # everything, paper scale
+//	ustasim -experiment table1 -workers 1    # serial run (same output)
 //
 // The -scale flag shortens evaluation runs for quick looks; the training
 // corpus always runs long enough to cover the hot regime (-corpus-sec).
+// Experiments fan out on the fleet engine: -workers bounds the pool, and
+// per-run seeds are position-derived, so the artifacts are identical at any
+// worker count.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		mlpEpochs = flag.Int("mlp-epochs", 0, "MLP training epochs for fig3 (0 = default 150)")
 		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs (empty = no dump)")
 		repN      = flag.Int("n", 5, "replications for -experiment replicate")
+		workers   = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
 	)
 	flag.Parse()
 
@@ -37,6 +42,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.CorpusPerRunSec = *corpusSec
 	cfg.MLPEpochs = *mlpEpochs
+	cfg.Workers = *workers
 	pl := experiments.NewPipeline(cfg)
 
 	run := func(name string) error {

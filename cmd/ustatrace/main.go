@@ -1,6 +1,8 @@
 // Command ustatrace runs one workload under a chosen governor (optionally
 // wrapped by USTA) and writes the full temperature/frequency trace as CSV —
-// the raw material for custom plots.
+// the raw material for custom plots. Built on the Session API: construction
+// errors are reported instead of panicking, and ^C stops the simulation at
+// the next step while still flushing the partial trace.
 //
 //	ustatrace -workload skype -out skype.csv
 //	ustatrace -workload game -governor performance -dur 600
@@ -8,20 +10,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/governor"
+	"repro"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		name    = flag.String("workload", "skype", "one of the 13 paper workloads")
-		gov     = flag.String("governor", "ondemand", "ondemand|interactive|conservative|performance|powersave")
+		gov     = flag.String("governor", "ondemand", "ondemand|interactive|conservative|schedutil|performance|powersave")
 		dur     = flag.Float64("dur", 0, "run duration in seconds (0 = workload length)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		out     = flag.String("out", "", "CSV output path (empty = stdout)")
@@ -30,55 +33,59 @@ func main() {
 	)
 	flag.Parse()
 
-	w := workload.ByName(*name, uint64(*seed))
+	w := repro.WorkloadByName(*name, uint64(*seed))
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "ustatrace: unknown workload %q (choose from %v)\n", *name, workload.BenchmarkNames)
+		fmt.Fprintf(os.Stderr, "ustatrace: unknown workload %q (choose from %v)\n", *name, repro.BenchmarkNames())
 		os.Exit(1)
 	}
 
-	cfg := device.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Thermal.Ambient = *ambient
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	freqs := make([]float64, len(cfg.SoC.OPPs))
-	for i, o := range cfg.SoC.OPPs {
-		freqs[i] = o.FreqMHz
+	cfg := repro.DefaultDeviceConfig()
+	opts := []repro.SessionOption{
+		repro.WithDevice(cfg),
+		repro.WithGovernorName(*gov),
+		repro.WithSeed(*seed),
+		repro.WithAmbientC(*ambient),
 	}
-	var g governor.Governor
-	switch *gov {
-	case "ondemand":
-		g = governor.NewOndemand(freqs)
-	case "interactive":
-		g = governor.NewInteractive(freqs)
-	case "conservative":
-		g = governor.NewConservative(len(freqs))
-	case "performance":
-		g = &governor.Performance{NumLevels: len(freqs)}
-	case "powersave":
-		g = &governor.Powersave{}
-	default:
-		fmt.Fprintf(os.Stderr, "ustatrace: unknown governor %q\n", *gov)
-		os.Exit(1)
-	}
-
-	phone := device.MustNew(cfg, g)
 	if *ustaLim > 0 {
 		fmt.Fprintln(os.Stderr, "ustatrace: training predictor for USTA...")
-		corpus := core.CollectCorpus(cfg, []workload.Workload{
+		trainCfg := cfg
+		trainCfg.Seed = *seed
+		trainCfg.Thermal.Ambient = *ambient // train in the conditions being traced
+		corpus, err := repro.CollectCorpusContext(ctx, trainCfg, []repro.Workload{
 			workload.Skype(uint64(*seed) + 100),
 			workload.AnTuTuTester(uint64(*seed) + 101),
 			workload.StaircaseRamp(uint64(*seed)+102, 0.05, 0.95, 8, 60),
 			workload.Idle(300),
-		}, 0)
-		pred, err := core.Train(corpus, nil)
+		}, 0, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ustatrace:", err)
 			os.Exit(1)
 		}
-		phone.SetController(core.NewUSTA(pred, *ustaLim))
+		pred, err := repro.TrainPredictor(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustatrace:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, repro.WithController(repro.NewUSTA(pred, *ustaLim)))
 	}
 
-	res := phone.Run(w, *dur)
+	session, err := repro.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ustatrace:", err)
+		os.Exit(1)
+	}
+
+	res, err := session.RunFor(ctx, w, *dur)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ustatrace:", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ustatrace: interrupted at t=%.0f s; writing partial trace\n", res.DurSec)
+	}
 	fmt.Fprintf(os.Stderr, "%s under %s%s: peak skin %.1f °C, peak screen %.1f °C, avg %.2f GHz, energy %.0f J, battery %.0f%%→%.0f%%\n",
 		res.Workload, res.Governor, ctrlSuffix(res.Ctrl),
 		res.MaxSkinC, res.MaxScreenC, res.AvgFreqMHz/1000, res.EnergyJ,

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -25,14 +27,18 @@ import (
 
 func main() {
 	var (
-		model  = flag.String("model", "reptree", "reptree|m5p|linreg|mlp")
-		out    = flag.String("out", "predictor.json", "predictor output path (empty = skip)")
-		arff   = flag.String("arff", "", "also dump the skin-target corpus as ARFF to this path")
-		seed   = flag.Int64("seed", 42, "pipeline seed")
-		perRun = flag.Float64("per-run", 0, "truncate each corpus run to this many seconds (0 = full)")
-		folds  = flag.Int("folds", 10, "cross-validation folds")
+		model   = flag.String("model", "reptree", "reptree|m5p|linreg|mlp")
+		out     = flag.String("out", "predictor.json", "predictor output path (empty = skip)")
+		arff    = flag.String("arff", "", "also dump the skin-target corpus as ARFF to this path")
+		seed    = flag.Int64("seed", 42, "pipeline seed")
+		perRun  = flag.Float64("per-run", 0, "truncate each corpus run to this many seconds (0 = full)")
+		folds   = flag.Int("folds", 10, "cross-validation folds")
+		workers = flag.Int("workers", 0, "corpus-collection worker pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var factory func() ml.Regressor
 	switch *model {
@@ -60,7 +66,11 @@ func main() {
 	for _, w := range workload.Benchmarks(uint64(*seed)) {
 		loads = append(loads, w)
 	}
-	corpus := core.CollectCorpus(cfg, loads, *perRun)
+	corpus, err := core.CollectCorpusContext(ctx, cfg, loads, *perRun, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ustatrain:", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "ustatrain: %d records\n", len(corpus))
 
 	for _, target := range []core.Target{core.SkinTarget, core.ScreenTarget} {

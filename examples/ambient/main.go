@@ -9,35 +9,48 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
-	"repro/internal/core"
-	"repro/internal/device"
 )
 
 func main() {
+	ctx := context.Background()
 	baseCfg := repro.DefaultDeviceConfig()
 
 	fmt.Println("training predictor at 25 °C ambient...")
-	corpus := repro.CollectCorpus(baseCfg, repro.Benchmarks(1), 1200)
+	corpus, err := repro.CollectCorpusContext(ctx, baseCfg, repro.Benchmarks(1), 1200, 0)
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
 	pred, err := repro.TrainPredictor(corpus)
 	if err != nil {
-		panic(err)
+		fmt.Println("train:", err)
+		return
 	}
 
 	call := repro.WorkloadByName("skype", 7)
 	run := func(ambient float64, recal bool) *repro.RunResult {
-		cfg := baseCfg
-		cfg.Thermal.Ambient = ambient
-		phone := device.MustNew(cfg, nil)
-		u := core.NewUSTA(pred, repro.DefaultLimitC)
+		u := repro.NewUSTA(pred, repro.DefaultLimitC)
+		var ctrl repro.Controller = u
 		if recal {
-			phone.SetController(core.NewRecalibrator(u))
-		} else {
-			phone.SetController(u)
+			ctrl = repro.NewRecalibrator(u)
 		}
-		return phone.Run(call, 1200)
+		session, err := repro.NewSession(
+			repro.WithDevice(baseCfg),
+			repro.WithAmbientC(ambient),
+			repro.WithController(ctrl),
+		)
+		if err != nil {
+			panic(err) // static options above; cannot fail
+		}
+		res, err := session.RunFor(ctx, call, 1200)
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
 
 	fmt.Printf("\n%-28s %12s %10s\n", "scenario (USTA @37 °C)", "peak skin", "avg freq")

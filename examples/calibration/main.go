@@ -7,56 +7,88 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := repro.DefaultDeviceConfig()
 
 	// Phase 1 — discomfort calibration session. The new user holds the
 	// phone while the AnTuTu Tester stressor runs; they stop the session
 	// the moment it becomes uncomfortable. Here we simulate a user whose
-	// tolerance sits at 35.5 °C.
+	// tolerance sits at 35.5 °C, using the observer to catch the crossing
+	// live — exactly how the real study worked — and cancelling the rest
+	// of the session once discomfort is reported.
 	const trueComfortLimit = 35.5
 	stressor := repro.WorkloadByName("antutu-tester", 3)
-	phone := repro.NewPhone(cfg)
-	res := phone.Run(stressor, 0)
-
-	skin := res.Trace.Lookup("skin_c").Values
-	times := res.Trace.TimeSec
+	sessCtx, reportDiscomfort := context.WithCancel(ctx)
 	reported := 0.0
-	for i, v := range skin {
-		if v > trueComfortLimit {
-			reported = times[i]
-			break
-		}
+	session, err := repro.NewSession(
+		repro.WithDevice(cfg),
+		repro.WithObserver(func(s repro.Sample) {
+			if reported == 0 && s.SkinC > trueComfortLimit {
+				reported = s.TimeSec
+				reportDiscomfort()
+			}
+		}),
+	)
+	if err != nil {
+		fmt.Println("session:", err)
+		return
 	}
+	if _, err := session.Run(sessCtx, stressor); err != nil && reported == 0 {
+		fmt.Println("calibration run:", err)
+		return
+	}
+	reportDiscomfort()
 	fmt.Printf("calibration session: user reported discomfort at t=%.0f s (skin %.1f °C)\n",
 		reported, trueComfortLimit)
 
 	// Phase 2 — train the predictor once (shared across all users).
 	fmt.Println("training predictor...")
-	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	corpus, err := repro.CollectCorpusContext(ctx, cfg, repro.Benchmarks(1), 1200, 0)
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
 	pred, err := repro.TrainPredictor(corpus)
 	if err != nil {
-		panic(err)
+		fmt.Println("train:", err)
+		return
 	}
 
-	// Phase 3 — personalized vs default USTA on a gaming session.
+	// Phase 3 — personalized vs default USTA on a gaming session, run
+	// concurrently as a two-job fleet.
 	game := repro.WorkloadByName("game", 9)
-	runWith := func(limit float64) *repro.RunResult {
-		p := repro.NewPhone(cfg)
-		p.SetController(repro.NewUSTA(pred, limit))
-		return p.Run(game, 900)
+	jobFor := func(name string, limit float64) repro.Job {
+		return repro.Job{
+			Name:     name,
+			Workload: game,
+			Device:   &cfg,
+			DurSec:   900,
+			Seed:     cfg.Seed,
+			Controller: func(repro.User) repro.Controller {
+				return repro.NewUSTA(pred, limit)
+			},
+		}
 	}
-	personalized := runWith(trueComfortLimit)
-	def := runWith(repro.DefaultLimitC)
+	results := repro.NewFleet(repro.FleetConfig{}).Run(ctx, []repro.Job{
+		jobFor("usta(personal 35.5)", trueComfortLimit),
+		jobFor("usta(default 37.0)", repro.DefaultLimitC),
+	})
 
 	fmt.Printf("\n%-22s %12s %10s\n", "controller", "peak skin", "avg freq")
-	fmt.Printf("%-22s %9.1f °C %6.2f GHz\n", "usta(personal 35.5)", personalized.MaxSkinC, personalized.AvgFreqMHz/1000)
-	fmt.Printf("%-22s %9.1f °C %6.2f GHz\n", "usta(default 37.0)", def.MaxSkinC, def.AvgFreqMHz/1000)
+	for _, jr := range results {
+		if jr.Err != nil {
+			fmt.Println(jr.Name+":", jr.Err)
+			return
+		}
+		fmt.Printf("%-22s %9.1f °C %6.2f GHz\n", jr.Name, jr.Result.MaxSkinC, jr.Result.AvgFreqMHz/1000)
+	}
 	fmt.Println("\nthe default limit would let the phone run past this user's comfort point;")
 	fmt.Println("personalization trades a little frequency for staying inside it.")
 }

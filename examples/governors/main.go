@@ -1,62 +1,72 @@
 // Governors compares the thermal and performance behaviour of the standard
 // cpufreq policies against USTA on a sustained gaming workload — the
-// trade-off space the paper's controller navigates.
+// trade-off space the paper's controller navigates. All five runs execute
+// as one fleet batch, each job building its own governor via its factory.
 //
 //	go run ./examples/governors
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
-	"repro/internal/device"
-	"repro/internal/governor"
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := repro.DefaultDeviceConfig()
 	game := repro.WorkloadByName("game", 5)
 
 	fmt.Println("training predictor...")
-	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	corpus, err := repro.CollectCorpusContext(ctx, cfg, repro.Benchmarks(1), 1200, 0)
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
 	pred, err := repro.TrainPredictor(corpus)
 	if err != nil {
-		panic(err)
+		fmt.Println("train:", err)
+		return
 	}
 
-	freqs := make([]float64, len(cfg.SoC.OPPs))
-	for i, o := range cfg.SoC.OPPs {
-		freqs[i] = o.FreqMHz
+	govJob := func(name string) repro.Job {
+		return repro.Job{
+			Name:     name,
+			Workload: game,
+			Device:   &cfg,
+			DurSec:   900,
+			Seed:     cfg.Seed,
+			Governor: func() repro.Governor {
+				g, err := repro.GovernorByName(name, cfg)
+				if err != nil {
+					panic(err) // names below are all known
+				}
+				return g
+			},
+		}
 	}
-	type entry struct {
-		name string
-		run  func() *repro.RunResult
-	}
-	entries := []entry{
-		{"performance", func() *repro.RunResult {
-			return device.MustNew(cfg, &governor.Performance{NumLevels: len(freqs)}).Run(game, 900)
-		}},
-		{"ondemand", func() *repro.RunResult {
-			return device.MustNew(cfg, governor.NewOndemand(freqs)).Run(game, 900)
-		}},
-		{"conservative", func() *repro.RunResult {
-			return device.MustNew(cfg, governor.NewConservative(len(freqs))).Run(game, 900)
-		}},
-		{"powersave", func() *repro.RunResult {
-			return device.MustNew(cfg, &governor.Powersave{}).Run(game, 900)
-		}},
-		{"ondemand+usta", func() *repro.RunResult {
-			p := repro.NewPhone(cfg)
-			p.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
-			return p.Run(game, 900)
-		}},
+	usta := govJob("ondemand")
+	usta.Name = "ondemand+usta"
+	usta.Controller = func(repro.User) repro.Controller { return repro.NewUSTA(pred, repro.DefaultLimitC) }
+
+	jobs := []repro.Job{
+		govJob("performance"),
+		govJob("ondemand"),
+		govJob("conservative"),
+		govJob("powersave"),
+		usta,
 	}
 
 	fmt.Printf("\n%-15s %12s %10s %12s %10s\n", "governor", "peak skin", "avg freq", "work served", "energy")
-	for _, e := range entries {
-		res := e.run()
+	for _, jr := range repro.NewFleet(repro.FleetConfig{}).Run(ctx, jobs) {
+		if jr.Err != nil {
+			fmt.Println(jr.Name+":", jr.Err)
+			return
+		}
+		res := jr.Result
 		fmt.Printf("%-15s %9.1f °C %6.2f GHz %11.1f%% %7.0f J\n",
-			e.name, res.MaxSkinC, res.AvgFreqMHz/1000, (1-res.Slowdown())*100, res.EnergyJ)
+			jr.Name, res.MaxSkinC, res.AvgFreqMHz/1000, (1-res.Slowdown())*100, res.EnergyJ)
 	}
 	fmt.Println("\nUSTA lands between ondemand (hot, fast) and powersave (cool, slow):")
 	fmt.Println("full speed until the skin approaches the limit, then just enough clamping to hold it.")

@@ -1,40 +1,58 @@
-// Quickstart: train the skin-temperature predictor, attach USTA to a
-// simulated phone, and compare a Skype video call against the stock
-// ondemand governor.
+// Quickstart: train the skin-temperature predictor, build a USTA session
+// with the options API, and compare a Skype video call against the stock
+// ondemand governor — both runs executed concurrently by a two-job fleet.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := repro.DefaultDeviceConfig()
 
 	// 1. Collect a training corpus: the evaluation workloads executed under
-	// the stock governor on the thermistor-instrumented phone. (20 minutes
-	// per workload keeps this quick while still covering the hot regime.)
+	// the stock governor on the thermistor-instrumented phone, one worker
+	// per core. (20 minutes per workload keeps this quick while still
+	// covering the hot regime.)
 	fmt.Println("collecting training corpus...")
-	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 1200)
+	corpus, err := repro.CollectCorpusContext(ctx, cfg, repro.Benchmarks(1), 1200, 0)
+	if err != nil {
+		fmt.Println("corpus:", err)
+		return
+	}
 	fmt.Printf("  %d logged records\n", len(corpus))
 
 	// 2. Train the run-time predictor (REPTree, as in the paper).
 	pred, err := repro.TrainPredictor(corpus)
 	if err != nil {
-		panic(err)
+		fmt.Println("train:", err)
+		return
 	}
 
-	// 3. Run a 10-minute Skype call under the baseline governor...
+	// 3. Run the 10-minute call under both schemes as one fleet batch: the
+	// baseline job is a stock phone, the USTA job attaches the controller
+	// through its factory. Job seeds are pinned, so the comparison is
+	// reproducible at any worker count.
 	call := repro.WorkloadByName("skype", 7)
-	baseline := repro.NewPhone(cfg).Run(call, 600)
-
-	// ...and under USTA configured for the default user (37 °C).
-	phone := repro.NewPhone(cfg)
-	phone.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
-	usta := phone.Run(call, 600)
+	fl := repro.NewFleet(repro.FleetConfig{})
+	results := fl.Run(ctx, []repro.Job{
+		{Name: "ondemand", Workload: call, Device: &cfg, DurSec: 600, Seed: 1},
+		{Name: "usta", Workload: call, Device: &cfg, DurSec: 600, Seed: 1,
+			Controller: func(repro.User) repro.Controller { return repro.NewUSTA(pred, repro.DefaultLimitC) }},
+	})
+	for _, jr := range results {
+		if jr.Err != nil {
+			fmt.Println(jr.Name+":", jr.Err)
+			return
+		}
+	}
+	baseline, usta := results[0].Result, results[1].Result
 
 	fmt.Printf("\n%-10s %12s %12s %10s\n", "scheme", "peak skin", "peak screen", "avg freq")
 	fmt.Printf("%-10s %9.1f °C %9.1f °C %6.2f GHz\n",
@@ -44,4 +62,29 @@ func main() {
 	fmt.Printf("\nUSTA kept the back cover %.1f °C cooler at a %.0f%% lower average frequency.\n",
 		baseline.MaxSkinC-usta.MaxSkinC,
 		(1-usta.AvgFreqMHz/baseline.AvgFreqMHz)*100)
+
+	// 4. The same USTA scheme as a single Session, streaming telemetry: the
+	// observer fires once per trace second instead of waiting for the
+	// aggregate result.
+	fmt.Println("\nstreaming the first minutes of the USTA call:")
+	printed := 0
+	session, err := repro.NewSession(
+		repro.WithDevice(cfg),
+		repro.WithSeed(1),
+		repro.WithController(repro.NewUSTA(pred, repro.DefaultLimitC)),
+		repro.WithObserver(func(s repro.Sample) {
+			if int(s.TimeSec)%60 == 0 && printed < 5 {
+				fmt.Printf("  t=%3.0fs skin %.1f °C at %.0f MHz (clamp L%d)\n",
+					s.TimeSec, s.SkinC, s.FreqMHz, s.MaxLevel)
+				printed++
+			}
+		}),
+	)
+	if err != nil {
+		fmt.Println("session:", err)
+		return
+	}
+	if _, err := session.RunFor(ctx, call, 300); err != nil {
+		fmt.Println("run:", err)
+	}
 }

@@ -1,6 +1,7 @@
 // Videocall reproduces the paper's headline scenario (Figure 4): a
 // 30-minute Skype video call under the stock ondemand governor and under
-// USTA at the default 37 °C limit, with ASCII temperature traces.
+// USTA at the default 37 °C limit, with ASCII temperature traces. The
+// pipeline underneath runs both calls concurrently on the fleet engine.
 //
 //	go run ./examples/videocall
 package main
@@ -14,6 +15,7 @@ import (
 func main() {
 	cfg := repro.DefaultExperimentConfig()
 	cfg.CorpusPerRunSec = 1200 // keep the demo quick; 0 = paper-scale corpus
+	cfg.Workers = 0            // 0 = one simulation worker per core
 	pl := repro.NewPipeline(cfg)
 
 	fmt.Println("training predictor and running the two 30-minute calls...")

@@ -1,0 +1,184 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro"
+)
+
+// fleetTestJobs builds a small heterogeneous batch: three synthetic
+// workloads × two schemes, with derived (not pinned) seeds so the test
+// exercises the fleet's own seed derivation (Device nil and no Job.Seed).
+func fleetTestJobs() []repro.Job {
+	cfg := repro.DefaultDeviceConfig()
+	loads := []repro.Workload{
+		repro.SquareWave(1, 10, 0.5, 0.9, 0.1, 90),
+		repro.StaircaseRamp(2, 0.1, 0.9, 3, 30),
+		repro.RandomPhases(3, 3, 30),
+	}
+	var jobs []repro.Job
+	for _, w := range loads {
+		jobs = append(jobs,
+			repro.Job{Workload: w},
+			repro.Job{Workload: w, Governor: func() repro.Governor {
+				g, err := repro.GovernorByName("conservative", cfg)
+				if err != nil {
+					panic(err)
+				}
+				return g
+			}},
+		)
+	}
+	return jobs
+}
+
+// marshalResults canonicalizes JobResults for byte-level comparison.
+func marshalResults(t *testing.T, results []repro.JobResult) []byte {
+	t.Helper()
+	type row struct {
+		Index    int
+		Name     string
+		SeedUsed int64
+		Err      string
+		Result   *repro.RunResult
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{Index: r.Index, Name: r.Name, SeedUsed: r.SeedUsed, Result: r.Result}
+		if r.Err != nil {
+			rows[i].Err = r.Err.Error()
+		}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatalf("marshal results: %v", err)
+	}
+	return b
+}
+
+// TestFleetDeterministicAcrossWorkerCounts is the heart of the fleet
+// contract: N workers must produce byte-identical results to 1 worker,
+// because per-job seeds derive from job position, never from scheduling.
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	ref := marshalResults(t, repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 42}).Run(ctx, fleetTestJobs()))
+	for _, workers := range []int{2, 8} {
+		got := marshalResults(t, repro.NewFleet(repro.FleetConfig{Workers: workers, Seed: 42}).Run(ctx, fleetTestJobs()))
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("Workers=%d results differ from Workers=1 (%d vs %d bytes)", workers, len(got), len(ref))
+		}
+	}
+}
+
+// TestFleetSeedPrecedence: Job.Seed pins, else a non-zero Device.Seed is
+// honored (Session semantics), else the fleet derives from the job index.
+func TestFleetSeedPrecedence(t *testing.T) {
+	cfg := repro.DefaultDeviceConfig()
+	cfg.Seed = 77
+	jobs := []repro.Job{
+		{Workload: repro.Idle(30), Seed: 5, Device: &cfg}, // explicit wins
+		{Workload: repro.Idle(30), Device: &cfg},          // config honored
+		{Workload: repro.Idle(30)},                        // derived
+	}
+	results := repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 42}).Run(context.Background(), jobs)
+	if got := results[0].SeedUsed; got != 5 {
+		t.Fatalf("explicit Job.Seed: used %d, want 5", got)
+	}
+	if got := results[1].SeedUsed; got != 77 {
+		t.Fatalf("Device.Seed: used %d, want 77", got)
+	}
+	if got := results[2].SeedUsed; got == 0 || got == 77 || got == 5 {
+		t.Fatalf("derived seed: got %d, want a derived value", got)
+	}
+}
+
+// TestFleetPerJobErrors: a broken job fails alone; its neighbors run.
+func TestFleetPerJobErrors(t *testing.T) {
+	bad := repro.DefaultDeviceConfig()
+	bad.GovernorPeriodSec = bad.StepSec / 4 // invalid: period below step
+	jobs := []repro.Job{
+		{Workload: repro.Idle(60)},
+		{Workload: repro.Idle(60), Device: &bad},
+		{}, // no workload
+	}
+	results := repro.NewFleet(repro.FleetConfig{Workers: 2}).Run(context.Background(), jobs)
+	if results[0].Err != nil || results[0].Result == nil {
+		t.Fatalf("healthy job failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid device config should fail its job")
+	}
+	if results[2].Err == nil {
+		t.Fatal("missing workload should fail its job")
+	}
+	if results[1].Result != nil || results[2].Result != nil {
+		t.Fatal("failed jobs should carry no result")
+	}
+}
+
+// TestFleetCancellation: cancelling the context marks unfinished jobs with
+// the context error instead of hanging or aborting the batch.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts
+	jobs := fleetTestJobs()
+	results := repro.NewFleet(repro.FleetConfig{Workers: 2}).Run(ctx, jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d err = %v, want context.Canceled", r.Index, r.Err)
+		}
+	}
+}
+
+// TestFleetProgress: OnProgress reports every completion exactly once,
+// serialized, ending at (total, total).
+func TestFleetProgress(t *testing.T) {
+	jobs := fleetTestJobs()
+	var calls []int
+	fl := repro.NewFleet(repro.FleetConfig{
+		Workers:    4,
+		OnProgress: func(done, total int) { calls = append(calls, done*100+total) },
+	})
+	fl.Run(context.Background(), jobs)
+	if len(calls) != len(jobs) {
+		t.Fatalf("OnProgress called %d times, want %d", len(calls), len(jobs))
+	}
+	for i, c := range calls {
+		if c != (i+1)*100+len(jobs) {
+			t.Fatalf("call %d = %d, want done=%d total=%d", i, c, i+1, len(jobs))
+		}
+	}
+}
+
+// TestFleetResultsInSubmissionOrder: results land at their job's index
+// with echoed metadata, regardless of completion order.
+func TestFleetResultsInSubmissionOrder(t *testing.T) {
+	var jobs []repro.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, repro.Job{
+			Name: fmt.Sprintf("job-%d", i),
+			// Mixed durations so completion order differs from submission.
+			Workload: repro.Idle(float64(30 + 60*(i%3))),
+		})
+	}
+	results := repro.NewFleet(repro.FleetConfig{Workers: 3}).Run(context.Background(), jobs)
+	for i, r := range results {
+		if r.Index != i || r.Name != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("result %d carries index %d name %q", i, r.Index, r.Name)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.SeedUsed == 0 {
+			t.Fatalf("job %d: derived seed should never be zero", i)
+		}
+	}
+}

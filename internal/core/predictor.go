@@ -15,9 +15,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
 	"repro/internal/sensors"
@@ -59,16 +61,53 @@ func DatasetFromRecords(recs []sensors.Record, target Target) *ml.Dataset {
 // ondemand governor and returns the concatenated training log. maxPerRun
 // truncates each workload (<= 0 runs them in full); tests use short
 // truncations, the paper-scale experiments run everything.
+//
+// Deprecated: use CollectCorpusContext, which reports configuration errors
+// and honors cancellation. CollectCorpus returns nil on invalid configs.
 func CollectCorpus(cfg device.Config, loads []workload.Workload, maxPerRun float64) []sensors.Record {
-	var corpus []sensors.Record
-	for i, w := range loads {
-		runCfg := cfg
-		runCfg.Seed = cfg.Seed + int64(i+1)*1000
-		p := device.MustNew(runCfg, nil) // nil governor defaults to ondemand
-		res := p.Run(w, maxPerRun)
-		corpus = append(corpus, res.Records...)
+	corpus, err := CollectCorpusContext(context.Background(), cfg, loads, maxPerRun, 0)
+	if err != nil {
+		return nil
 	}
 	return corpus
+}
+
+// CollectCorpusContext is CollectCorpus with cancellation and a bounded
+// worker pool (workers <= 0: GOMAXPROCS). The runs are independent — one
+// fresh phone per workload, seeds derived from the workload index — so the
+// concatenated log is identical at any worker count: per-workload logs are
+// collected in parallel but stitched together in input order.
+func CollectCorpusContext(ctx context.Context, cfg device.Config, loads []workload.Workload, maxPerRun float64, workers int) ([]sensors.Record, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	per := make([][]sensors.Record, len(loads))
+	errs := make([]error, len(loads))
+	fleet.ForEach(len(loads), workers, func(i int) {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + int64(i+1)*1000
+		p, err := device.New(runCfg, nil) // nil governor defaults to ondemand
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := p.RunContext(ctx, loads[i], maxPerRun)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		per[i] = res.Records
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: corpus run %d (%s): %w", i, loads[i].Name(), err)
+		}
+	}
+	var corpus []sensors.Record
+	for _, recs := range per {
+		corpus = append(corpus, recs...)
+	}
+	return corpus, nil
 }
 
 // Predictor predicts skin and screen temperatures from a logger record.

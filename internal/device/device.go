@@ -8,6 +8,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -94,6 +95,7 @@ type Phone struct {
 	skinTherm   *sensors.Sensor
 	screenTherm *sensors.Sensor
 	logger      *sensors.Logger
+	observer    func(Sample)
 
 	timeSec  float64
 	touching bool
@@ -171,6 +173,29 @@ func (p *Phone) SetController(c Controller) {
 	p.lastCtrlSec = p.timeSec
 }
 
+// Sample is one telemetry point streamed to a run observer. It carries the
+// same columns as the run trace, so callers can consume live what they would
+// otherwise read back from RunResult.Trace.
+type Sample struct {
+	// TimeSec is the simulation time of the sample.
+	TimeSec float64
+	// SkinC / ScreenC / DieC / BatteryC are the ground-truth temperatures.
+	SkinC, ScreenC, DieC, BatteryC float64
+	// FreqMHz is the current effective CPU frequency.
+	FreqMHz float64
+	// Util is the instantaneous CPU utilization in [0,1].
+	Util float64
+	// MaxLevel is the DVFS clamp currently imposed (by USTA or thermal
+	// engine); the table's top index when unclamped.
+	MaxLevel int
+}
+
+// SetObserver installs (or clears, with nil) a per-sample telemetry hook.
+// The observer fires once per trace row (every RecordPeriodSec of simulated
+// time) from the goroutine executing Run; it must not retain the Sample
+// beyond the call if it needs to stay allocation-free.
+func (p *Phone) SetObserver(fn func(Sample)) { p.observer = fn }
+
 // Governor returns the active cpufreq governor.
 func (p *Phone) Governor() governor.Governor { return p.gov }
 
@@ -242,8 +267,18 @@ func (r *RunResult) Slowdown() float64 {
 
 // Run executes the workload for min(dur, workload duration) seconds and
 // returns the aggregated result. Pass dur <= 0 to run the workload's full
-// duration.
+// duration. Run never stops early; use RunContext for cancellable runs.
 func (p *Phone) Run(w workload.Workload, dur float64) *RunResult {
+	res, _ := p.RunContext(context.Background(), w, dur)
+	return res
+}
+
+// RunContext is Run with step-granular cancellation: the context is checked
+// between simulation steps, so cancellation or a deadline stops the run
+// within one StepSec of simulated progress. On early stop it returns the
+// partial result aggregated over the steps that did execute, together with
+// the context's error.
+func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64) (*RunResult, error) {
 	if dur <= 0 || dur > w.Duration() {
 		dur = w.Duration()
 	}
@@ -269,7 +304,22 @@ func (p *Phone) Run(w workload.Workload, dur float64) *RunResult {
 	steps := int(math.Round(dur / dt))
 	var freqSum, utilSum float64
 	lastRecord := -math.MaxFloat64
+	finalize := func(done int) {
+		if done > 0 {
+			res.AvgFreqMHz = freqSum / float64(done)
+			res.AvgUtil = utilSum / float64(done)
+		}
+		if done < steps { // cancelled: report actual simulated time
+			res.DurSec = float64(done) * dt
+		}
+		res.Records = p.logger.Records()
+		res.EndSoC = p.pack.SoC()
+	}
 	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			finalize(i)
+			return res, err
+		}
 		p.step(w, dt)
 
 		freqSum += p.cpu.FreqMHz()
@@ -298,13 +348,22 @@ func (p *Phone) Run(w workload.Workload, dur float64) *RunResult {
 				p.cpu.FreqMHz(), p.utilNow, float64(p.cpu.MaxLevel()),
 			)
 			lastRecord = p.timeSec
+			if p.observer != nil {
+				p.observer(Sample{
+					TimeSec:  p.timeSec,
+					SkinC:    p.SkinTempC(),
+					ScreenC:  p.ScreenTempC(),
+					DieC:     p.DieTempC(),
+					BatteryC: p.net.Temp(p.nodes.Battery),
+					FreqMHz:  p.cpu.FreqMHz(),
+					Util:     p.utilNow,
+					MaxLevel: p.cpu.MaxLevel(),
+				})
+			}
 		}
 	}
-	res.AvgFreqMHz = freqSum / float64(steps)
-	res.AvgUtil = utilSum / float64(steps)
-	res.Records = p.logger.Records()
-	res.EndSoC = p.pack.SoC()
-	return res
+	finalize(steps)
+	return res, nil
 }
 
 // step advances one base tick.

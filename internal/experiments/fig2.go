@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/trace"
 	"repro/internal/users"
 	"repro/internal/workload"
@@ -29,7 +30,11 @@ type Fig2Result struct {
 	Rows []Fig2Row
 }
 
-// RunFig2 executes the eleven USTA-controlled Skype calls.
+// RunFig2 executes the eleven USTA-controlled Skype calls as one fleet
+// batch: every limit setting is an independent job, so the wall-clock cost
+// is one call, not eleven, on a multicore host. Seeds are pinned per
+// setting (the pre-fleet offsets), keeping the output identical at any
+// worker count.
 func RunFig2(pl *Pipeline) *Fig2Result {
 	type setting struct {
 		label string
@@ -41,17 +46,28 @@ func RunFig2(pl *Pipeline) *Fig2Result {
 	}
 	settings = append(settings, setting{"default", users.DefaultLimitC})
 
-	out := &Fig2Result{}
+	w := workload.Skype(uint64(pl.Cfg.Seed) + 200)
+	dur := pl.Cfg.scaled(w.Duration())
+	jobs := make([]fleet.Job, len(settings))
 	for i, s := range settings {
-		w := workload.Skype(uint64(pl.Cfg.Seed) + 200)
-		phone, _ := pl.newUSTAPhone(s.limit, int64(100+i))
-		res := phone.Run(w, pl.Cfg.scaled(w.Duration()))
-		skin := res.Trace.Lookup("skin_c").Values
+		jobs[i] = fleet.Job{
+			Name:       s.label,
+			Workload:   w,
+			Device:     &pl.Cfg.Device,
+			Controller: pl.ustaFactory(s.limit),
+			DurSec:     dur,
+			Seed:       pl.Cfg.Device.Seed + int64(100+i),
+		}
+	}
+
+	out := &Fig2Result{}
+	for i, jr := range pl.mustRun(jobs) {
+		skin := jr.Result.Trace.Lookup("skin_c").Values
 		out.Rows = append(out.Rows, Fig2Row{
-			Label:      s.label,
-			LimitC:     s.limit,
-			OverFrac:   trace.FractionAbove(skin, s.limit),
-			AvgFreqMHz: res.AvgFreqMHz,
+			Label:      settings[i].label,
+			LimitC:     settings[i].limit,
+			OverFrac:   trace.FractionAbove(skin, settings[i].limit),
+			AvgFreqMHz: jr.Result.AvgFreqMHz,
 		})
 	}
 	return out

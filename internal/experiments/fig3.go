@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/ml"
 	"repro/internal/ml/linreg"
 	"repro/internal/ml/m5p"
@@ -36,7 +37,10 @@ type Fig3Result struct {
 	CorpusLen int
 }
 
-// RunFig3 trains and cross-validates all four models on both targets.
+// RunFig3 trains and cross-validates all four models on both targets. The
+// eight (model, target) sweeps are independent — seeded shuffles over a
+// read-only corpus — so they fan out on the fleet's scheduling primitive;
+// the MLP's training time no longer serializes the figure.
 func RunFig3(pl *Pipeline) *Fig3Result {
 	epochs := pl.Cfg.MLPEpochs
 	if epochs <= 0 {
@@ -58,32 +62,42 @@ func RunFig3(pl *Pipeline) *Fig3Result {
 	}
 
 	corpus := pl.Corpus()
-	skinDS := core.DatasetFromRecords(corpus, core.SkinTarget)
-	screenDS := core.DatasetFromRecords(corpus, core.ScreenTarget)
-
-	out := &Fig3Result{CorpusLen: len(corpus)}
-	for _, f := range factories {
-		row := Fig3Row{Model: f.name}
-
-		exp, pred, err := ml.CrossValidate(f.mk, skinDS, 10, seed)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: fig3 %s skin CV: %v", f.name, err))
-		}
-		row.SkinErrPct = ml.ErrorRate(exp, pred)
-		row.SkinGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
-		row.SkinMAE = ml.MAE(exp, pred)
-
-		exp, pred, err = ml.CrossValidate(f.mk, screenDS, 10, seed)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: fig3 %s screen CV: %v", f.name, err))
-		}
-		row.ScreenErrPct = ml.ErrorRate(exp, pred)
-		row.ScreenGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
-		row.ScreenMAE = ml.MAE(exp, pred)
-
-		out.Rows = append(out.Rows, row)
+	datasets := []*ml.Dataset{
+		core.DatasetFromRecords(corpus, core.SkinTarget),
+		core.DatasetFromRecords(corpus, core.ScreenTarget),
 	}
-	return out
+
+	rows := make([]Fig3Row, len(factories))
+	for i, f := range factories {
+		rows[i].Model = f.name
+	}
+	errs := make([]error, len(factories)*len(datasets))
+	fleet.ForEach(len(factories)*len(datasets), pl.Cfg.Workers, func(i int) {
+		f, target := factories[i/len(datasets)], i%len(datasets)
+		exp, pred, err := ml.CrossValidate(f.mk, datasets[target], 10, seed)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: fig3 %s %s CV: %v", f.name, core.Target(target), err)
+			return
+		}
+		// Concurrent tasks touch disjoint fields of the row: task parity
+		// selects the target, and each target writes only its own columns.
+		row := &rows[i/len(datasets)]
+		if core.Target(target) == core.SkinTarget {
+			row.SkinErrPct = ml.ErrorRate(exp, pred)
+			row.SkinGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
+			row.SkinMAE = ml.MAE(exp, pred)
+		} else {
+			row.ScreenErrPct = ml.ErrorRate(exp, pred)
+			row.ScreenGatedPct = ml.GatedErrorRate(exp, pred, 1.0)
+			row.ScreenMAE = ml.MAE(exp, pred)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	return &Fig3Result{Rows: rows, CorpusLen: len(corpus)}
 }
 
 // Row returns the named model's row.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 	"repro/internal/users"
 	"repro/internal/workload"
@@ -30,14 +31,16 @@ type Fig4Result struct {
 	USTAOverFrac     float64
 }
 
-// RunFig4 executes the two 30-minute Skype calls.
+// RunFig4 executes the two 30-minute Skype calls concurrently.
 func RunFig4(pl *Pipeline) *Fig4Result {
 	w := workload.Skype(uint64(pl.Cfg.Seed) + 400)
 	dur := pl.Cfg.scaled(w.Duration())
 
-	base := pl.newPhone(41).Run(w, dur)
-	ustaPhone, _ := pl.newUSTAPhone(users.DefaultLimitC, 42)
-	usta := ustaPhone.Run(w, dur)
+	results := pl.mustRun([]fleet.Job{
+		{Name: "baseline", Workload: w, Device: &pl.Cfg.Device, DurSec: dur, Seed: pl.Cfg.Device.Seed + 41},
+		{Name: "usta", Workload: w, Device: &pl.Cfg.Device, Controller: pl.ustaFactory(users.DefaultLimitC), DurSec: dur, Seed: pl.Cfg.Device.Seed + 42},
+	})
+	base, usta := results[0].Result, results[1].Result
 
 	return &Fig4Result{
 		Baseline:         base,

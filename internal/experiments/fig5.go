@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 	"repro/internal/users"
 	"repro/internal/workload"
@@ -37,16 +39,48 @@ type Fig5Result struct {
 	NoDifference   int
 }
 
-// RunFig5 executes the twenty calls and derives ratings and preferences.
+// RunFig5 executes the twenty calls — ten participants × two schemes — as
+// one fleet batch, with each participant's USTA personalized through the
+// job's controller factory. Jobs 2i / 2i+1 are user i's baseline and USTA
+// calls.
 func RunFig5(pl *Pipeline) *Fig5Result {
-	out := &Fig5Result{}
-	for i, u := range users.StudyPopulation() {
-		w := workload.Skype(uint64(pl.Cfg.Seed) + 500)
-		dur := pl.Cfg.scaled(w.Duration())
+	pop := users.StudyPopulation()
+	w := workload.Skype(uint64(pl.Cfg.Seed) + 500)
+	dur := pl.Cfg.scaled(w.Duration())
+	pred := pl.Predictor()
 
-		base := pl.newPhone(int64(500+2*i)).Run(w, dur)
-		ustaPhone, ctrl := pl.newUSTAPhone(u.SkinLimitC, int64(501+2*i))
-		usta := ustaPhone.Run(w, dur)
+	// Per-user controllers are created on worker goroutines; each factory
+	// deposits its USTA at the user's index so activation counts survive
+	// the run. Distinct indices, so no synchronization is needed.
+	ctrls := make([]*core.USTA, len(pop))
+	jobs := make([]fleet.Job, 0, 2*len(pop))
+	for i, u := range pop {
+		i := i
+		jobs = append(jobs, fleet.Job{
+			Name:     u.ID + "/baseline",
+			User:     u,
+			Workload: w,
+			Device:   &pl.Cfg.Device,
+			DurSec:   dur,
+			Seed:     pl.Cfg.Device.Seed + int64(500+2*i),
+		}, fleet.Job{
+			Name:     u.ID + "/usta",
+			User:     u,
+			Workload: w,
+			Device:   &pl.Cfg.Device,
+			Controller: func(u users.User) device.Controller {
+				ctrls[i] = core.NewUSTA(pred, u.SkinLimitC)
+				return ctrls[i]
+			},
+			DurSec: dur,
+			Seed:   pl.Cfg.Device.Seed + int64(501+2*i),
+		})
+	}
+	results := pl.mustRun(jobs)
+
+	out := &Fig5Result{}
+	for i, u := range pop {
+		base, usta := results[2*i].Result, results[2*i+1].Result
 
 		baseRating := users.Rating(comfortOf(base, u.SkinLimitC))
 		ustaRating := users.Rating(comfortOf(usta, u.SkinLimitC))
@@ -57,7 +91,7 @@ func RunFig5(pl *Pipeline) *Fig5Result {
 			BaselineRating:  baseRating,
 			USTARating:      ustaRating,
 			Preference:      users.Prefer(u, baseRating, ustaRating),
-			USTAActivations: ctrl.Activations,
+			USTAActivations: ctrls[i].Activations,
 		}
 		out.Rows = append(out.Rows, row)
 		out.BaselineAvg += baseRating

@@ -19,9 +19,13 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/sensors"
+	"repro/internal/users"
 	"repro/internal/workload"
 )
 
@@ -43,6 +47,10 @@ type Config struct {
 	// the hot regime, or the tree predictors saturate low and USTA
 	// under-reacts; tests use 1200, paper-scale runs use 0.
 	CorpusPerRunSec float64
+	// Workers bounds the simulation worker pool the experiments fan out on
+	// (<= 0: GOMAXPROCS). Results are worker-count-independent: every run
+	// is seeded by its position in the experiment, not by scheduling.
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -75,14 +83,21 @@ type Pipeline struct {
 func NewPipeline(cfg Config) *Pipeline { return &Pipeline{Cfg: cfg} }
 
 // Corpus returns the training corpus: the full-length log of all thirteen
-// paper workloads executed under the stock ondemand governor.
+// paper workloads executed under the stock ondemand governor, collected in
+// parallel across the pipeline's worker pool.
 func (pl *Pipeline) Corpus() []sensors.Record {
 	if pl.corpus == nil {
 		loads := make([]workload.Workload, 0, 13)
 		for _, w := range workload.Benchmarks(uint64(pl.Cfg.Seed)) {
 			loads = append(loads, w)
 		}
-		pl.corpus = core.CollectCorpus(pl.Cfg.Device, loads, pl.Cfg.CorpusPerRunSec)
+		corpus, err := core.CollectCorpusContext(context.Background(), pl.Cfg.Device, loads, pl.Cfg.CorpusPerRunSec, pl.Cfg.Workers)
+		if err != nil {
+			// The device config is validated by every experiment entry
+			// point before reaching here; failure is a programming error.
+			panic(err)
+		}
+		pl.corpus = corpus
 	}
 	return pl.corpus
 }
@@ -110,11 +125,26 @@ func (pl *Pipeline) newPhone(seedOffset int64) *device.Phone {
 	return device.MustNew(cfg, nil)
 }
 
-// newUSTAPhone builds a fresh phone with a USTA controller at the given
-// skin limit.
-func (pl *Pipeline) newUSTAPhone(limitC float64, seedOffset int64) (*device.Phone, *core.USTA) {
-	p := pl.newPhone(seedOffset)
-	u := core.NewUSTA(pl.Predictor(), limitC)
-	p.SetController(u)
-	return p, u
+// fleet returns the batch engine the experiments fan out on.
+func (pl *Pipeline) fleet() *fleet.Fleet {
+	return fleet.New(fleet.Config{Workers: pl.Cfg.Workers, Seed: pl.Cfg.Seed})
+}
+
+// ustaFactory builds per-job USTA controllers at a fixed limit against the
+// shared predictor. Call Predictor() before fanning out: the factory runs
+// on worker goroutines and the lazy build is not concurrency-safe.
+func (pl *Pipeline) ustaFactory(limitC float64) func(users.User) device.Controller {
+	pred := pl.Predictor()
+	return func(users.User) device.Controller { return core.NewUSTA(pred, limitC) }
+}
+
+// mustRun executes the jobs on the pipeline's fleet and panics on the first
+// job error — experiment jobs are constructed from validated configs, so a
+// failure is a programming error, matching the pipeline's panic policy.
+func (pl *Pipeline) mustRun(jobs []fleet.Job) []fleet.JobResult {
+	results := pl.fleet().Run(context.Background(), jobs)
+	if err := fleet.FirstError(results); err != nil {
+		panic(err)
+	}
+	return results
 }

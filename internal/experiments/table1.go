@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/users"
 	"repro/internal/workload"
 )
@@ -57,16 +58,36 @@ func PaperTable1(bench string) (baseline, usta Table1Cell, ok bool) {
 	return v[0], v[1], ok
 }
 
-// RunTable1 executes all 26 runs (13 workloads × 2 schemes).
+// RunTable1 executes all 26 runs (13 workloads × 2 schemes) as one fleet
+// batch. Jobs 2i / 2i+1 are workload i's baseline and USTA runs, with the
+// pre-fleet seed offsets pinned so the table matches the sequential
+// implementation exactly.
 func RunTable1(pl *Pipeline) *Table1Result {
-	out := &Table1Result{LimitC: users.DefaultLimitC}
-	for i, w := range workload.Benchmarks(uint64(pl.Cfg.Seed) + 300) {
+	benches := workload.Benchmarks(uint64(pl.Cfg.Seed) + 300)
+	usta := pl.ustaFactory(users.DefaultLimitC)
+	jobs := make([]fleet.Job, 0, 2*len(benches))
+	for i, w := range benches {
 		dur := pl.Cfg.scaled(w.Duration())
+		jobs = append(jobs, fleet.Job{
+			Name:     w.Name() + "/baseline",
+			Workload: w,
+			Device:   &pl.Cfg.Device,
+			DurSec:   dur,
+			Seed:     pl.Cfg.Device.Seed + int64(300+2*i),
+		}, fleet.Job{
+			Name:       w.Name() + "/usta",
+			Workload:   w,
+			Device:     &pl.Cfg.Device,
+			Controller: usta,
+			DurSec:     dur,
+			Seed:       pl.Cfg.Device.Seed + int64(301+2*i),
+		})
+	}
+	results := pl.mustRun(jobs)
 
-		base := pl.newPhone(int64(300+2*i)).Run(w, dur)
-		ustaPhone, _ := pl.newUSTAPhone(users.DefaultLimitC, int64(301+2*i))
-		usta := ustaPhone.Run(w, dur)
-
+	out := &Table1Result{LimitC: users.DefaultLimitC}
+	for i, w := range benches {
+		base, usta := results[2*i].Result, results[2*i+1].Result
 		row := Table1Row{
 			Bench: w.Name(),
 			Baseline: Table1Cell{

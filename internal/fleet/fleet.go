@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/governor"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Workers bounds simultaneous simulations (<= 0: GOMAXPROCS).
+	Workers int
+	// Seed is the base for derived per-job seeds (jobs with an explicit
+	// Seed ignore it). Deriving from (Seed, job index) — never from worker
+	// identity or scheduling — is what makes Run's output independent of
+	// Workers.
+	Seed int64
+	// OnProgress, when set, is called after each job completes with the
+	// number of finished jobs and the batch size. Calls are serialized.
+	OnProgress func(done, total int)
+}
+
+// Job is one unit of fleet work: a user running a workload on a device
+// under an optional governor and thermal controller.
+type Job struct {
+	// Name labels the job in results; empty names are synthesized from the
+	// workload and controller.
+	Name string
+	// User is the participant this run simulates. Controller factories
+	// receive it, so per-user personalization (the paper's whole point)
+	// lives in one place. The zero User means "default user".
+	User users.User
+	// Workload is the demand trace to execute (required).
+	Workload workload.Workload
+	// Device is the handset configuration; nil selects
+	// device.DefaultConfig. A non-nil config is used as given (and
+	// validated by the device layer), so partial configs fail with a
+	// descriptive per-job error instead of being silently replaced.
+	Device *device.Config
+	// Governor, when non-nil, builds the job's cpufreq governor. A factory
+	// rather than an instance: governors are stateful and each job needs
+	// its own.
+	Governor func() governor.Governor
+	// Controller, when non-nil, builds the job's thermal controller from
+	// the job's user (return nil for a stock phone).
+	Controller func(u users.User) device.Controller
+	// DurSec truncates the run (<= 0: full workload duration).
+	DurSec float64
+	// Seed, when non-zero, pins the device seed (zero is "unset"
+	// throughout this codebase, so a literal zero seed cannot be pinned
+	// here — set Device.Seed for that). When zero, a non-zero
+	// Device.Seed is honored as given, matching Session semantics;
+	// otherwise the fleet derives a seed from its base seed and the job
+	// index.
+	Seed int64
+}
+
+// JobResult is one job's outcome. Failures are per-job: a bad device config
+// or a cancelled context yields an Err on the affected results instead of
+// aborting the batch.
+type JobResult struct {
+	// Index is the job's position in the submitted slice; Run returns
+	// results in submission order regardless of scheduling.
+	Index int
+	// Name echoes (or synthesizes) the job label.
+	Name string
+	// User echoes the job's participant.
+	User users.User
+	// SeedUsed is the device seed the run actually used, for reproducing a
+	// single job outside the fleet.
+	SeedUsed int64
+	// Result is the aggregate run outcome (partial when Err is a context
+	// error, nil when construction failed).
+	Result *device.RunResult
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Fleet executes batches of independent simulation jobs on a worker pool.
+type Fleet struct {
+	cfg Config
+}
+
+// New creates a fleet; a zero Config is valid and uses GOMAXPROCS workers.
+func New(cfg Config) *Fleet {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Fleet{cfg: cfg}
+}
+
+// Workers reports the configured worker-pool width.
+func (f *Fleet) Workers() int { return f.cfg.Workers }
+
+// Run executes all jobs and returns one result per job, in submission
+// order. Output is deterministic: per-job seeds derive from the job index,
+// so the same jobs produce identical results at any worker count. A
+// cancelled context marks the remaining jobs' results with the context
+// error rather than failing the batch.
+func (f *Fleet) Run(ctx context.Context, jobs []Job) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]JobResult, len(jobs))
+	var mu sync.Mutex
+	done := 0
+	ForEach(len(jobs), f.cfg.Workers, func(i int) {
+		results[i] = f.runJob(ctx, i, jobs[i])
+		if f.cfg.OnProgress != nil {
+			mu.Lock()
+			done++
+			f.cfg.OnProgress(done, len(jobs))
+			mu.Unlock()
+		}
+	})
+	return results
+}
+
+// runJob builds and executes one job's phone.
+func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
+	r := JobResult{Index: i, Name: job.Name, User: job.User}
+	if job.Workload == nil {
+		r.Err = fmt.Errorf("fleet: job %d has no workload", i)
+		return r
+	}
+	if r.Name == "" {
+		r.Name = job.Workload.Name()
+	}
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	cfg := device.DefaultConfig()
+	if job.Device != nil {
+		cfg = *job.Device
+	}
+	seed := job.Seed
+	if seed == 0 {
+		if cfg.Seed != 0 { // honor the config's own seed, like Session
+			seed = cfg.Seed
+		} else {
+			seed = DeriveSeed(f.cfg.Seed, i)
+		}
+	}
+	cfg.Seed = seed
+	r.SeedUsed = seed
+	var gov governor.Governor
+	if job.Governor != nil {
+		gov = job.Governor()
+	}
+	phone, err := device.New(cfg, gov)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	if job.Controller != nil {
+		if c := job.Controller(job.User); c != nil {
+			phone.SetController(c)
+		}
+	}
+	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
+	return r
+}
+
+// DeriveSeed maps (base, index) to a device seed via a splitmix64 mix, the
+// same construction package workload uses for jitter. The result depends
+// only on its arguments — never on scheduling — and is never zero (zero
+// would read as "unset" downstream).
+func DeriveSeed(base int64, index int) int64 {
+	x := uint64(base)*0x9e3779b97f4a7c15 + uint64(index+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	s := int64(x)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (<= 0: GOMAXPROCS). It is the fleet's scheduling primitive,
+// exported for phone-free fan-out such as cross-validating prediction
+// models or collecting training corpora. fn must handle its own
+// synchronization for shared state; writing to element i of a pre-sized
+// slice is safe.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the first job error in index order, or nil.
+func FirstError(results []JobResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("fleet: job %d (%s): %w", r.Index, r.Name, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 57
+		var hits [n]atomic.Int32
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("ForEach should not call fn for n <= 0")
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	seen := map[int64]int{}
+	for _, base := range []int64{0, 1, 42, -7} {
+		for i := 0; i < 1000; i++ {
+			s := DeriveSeed(base, i)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%d, %d) = 0", base, i)
+			}
+			if s != DeriveSeed(base, i) {
+				t.Fatalf("DeriveSeed(%d, %d) not stable", base, i)
+			}
+			seen[s]++
+		}
+	}
+	// 4000 derivations over 64 bits: any collision means a broken mix.
+	for s, n := range seen {
+		if n > 1 {
+			t.Fatalf("seed %d derived %d times", s, n)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package fleet is the concurrency layer of the reproduction: Session wraps
+// one simulated handset behind functional-options construction and
+// context-aware execution, and Fleet fans many independent (user, workload,
+// device, controller) jobs out across a worker pool with deterministic
+// per-job seeding. The paper's evaluation pipeline (internal/experiments)
+// and every cmd/ tool are consumers; nothing here knows about USTA
+// specifically — controllers arrive through the device.Controller interface.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/governor"
+	"repro/internal/workload"
+)
+
+// ambient bounds: the RC network is calibrated for habitable conditions;
+// far outside them the fitted conductances stop meaning anything.
+const (
+	minAmbientC = -40
+	maxAmbientC = 60
+)
+
+// sessionConfig accumulates option state before the phone is assembled.
+type sessionConfig struct {
+	device   device.Config
+	gov      governor.Governor
+	govName  string
+	govSet   bool
+	ctrl     device.Controller
+	observer func(device.Sample)
+	ambient  *float64
+	seed     *int64
+}
+
+// Option configures a Session under construction. Options validate eagerly
+// and return errors instead of panicking; NewSession reports the first
+// failure.
+type Option func(*sessionConfig) error
+
+// WithDevice sets the handset configuration (default: device.DefaultConfig).
+// The configuration itself is validated when the phone is assembled.
+func WithDevice(cfg device.Config) Option {
+	return func(sc *sessionConfig) error {
+		sc.device = cfg
+		return nil
+	}
+}
+
+// WithGovernor installs a specific cpufreq governor instance. Mutually
+// exclusive with WithGovernorName.
+func WithGovernor(g governor.Governor) Option {
+	return func(sc *sessionConfig) error {
+		if g == nil {
+			return errors.New("fleet: WithGovernor(nil)")
+		}
+		if sc.govSet {
+			return errors.New("fleet: governor configured twice")
+		}
+		sc.gov = g
+		sc.govSet = true
+		return nil
+	}
+}
+
+// WithGovernorName selects a governor by its sysfs name ("ondemand",
+// "interactive", "conservative", "schedutil", "performance", "powersave"),
+// resolved against the device's OPP table at construction time. Mutually
+// exclusive with WithGovernor.
+func WithGovernorName(name string) Option {
+	return func(sc *sessionConfig) error {
+		if sc.govSet {
+			return errors.New("fleet: governor configured twice")
+		}
+		sc.govName = name
+		sc.govSet = true
+		return nil
+	}
+}
+
+// WithController attaches a thermal controller (e.g. core.NewUSTA) to the
+// session's phone.
+func WithController(c device.Controller) Option {
+	return func(sc *sessionConfig) error {
+		if c == nil {
+			return errors.New("fleet: WithController(nil)")
+		}
+		sc.ctrl = c
+		return nil
+	}
+}
+
+// WithAmbientC overrides the ambient temperature of the device's thermal
+// environment.
+func WithAmbientC(c float64) Option {
+	return func(sc *sessionConfig) error {
+		if c < minAmbientC || c > maxAmbientC {
+			return fmt.Errorf("fleet: ambient %.1f °C outside the calibrated range [%g, %g]", c, float64(minAmbientC), float64(maxAmbientC))
+		}
+		sc.ambient = &c
+		return nil
+	}
+}
+
+// WithSeed overrides the device seed driving sensor noise.
+func WithSeed(seed int64) Option {
+	return func(sc *sessionConfig) error {
+		sc.seed = &seed
+		return nil
+	}
+}
+
+// WithObserver installs a per-sample telemetry hook fired once per trace
+// row during Run, so callers can stream live telemetry instead of waiting
+// for the aggregate RunResult.
+func WithObserver(fn func(device.Sample)) Option {
+	return func(sc *sessionConfig) error {
+		if fn == nil {
+			return errors.New("fleet: WithObserver(nil)")
+		}
+		sc.observer = fn
+		return nil
+	}
+}
+
+// Session is one simulated handset plus its run policy. Consecutive Run
+// calls continue on the same phone: thermal state, battery charge and the
+// controller's history carry over, exactly like back-to-back apps on a real
+// device. Build a fresh Session for statistically independent runs.
+type Session struct {
+	phone *device.Phone
+}
+
+// NewSession assembles a simulated handset from the options. It never
+// panics: invalid configurations (bad step sizes, unknown governor names,
+// implausible ambients, nil hooks) are reported as errors.
+func NewSession(opts ...Option) (*Session, error) {
+	sc := sessionConfig{device: device.DefaultConfig()}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, errors.New("fleet: nil Option")
+		}
+		if err := opt(&sc); err != nil {
+			return nil, err
+		}
+	}
+	if sc.ambient != nil {
+		sc.device.Thermal.Ambient = *sc.ambient
+	}
+	if sc.seed != nil {
+		sc.device.Seed = *sc.seed
+	}
+	gov := sc.gov
+	if gov == nil && sc.govName != "" {
+		freqs := make([]float64, len(sc.device.SoC.OPPs))
+		for i, o := range sc.device.SoC.OPPs {
+			freqs[i] = o.FreqMHz
+		}
+		g, err := governor.ByName(sc.govName, freqs)
+		if err != nil {
+			return nil, err
+		}
+		gov = g
+	}
+	phone, err := device.New(sc.device, gov)
+	if err != nil {
+		return nil, err
+	}
+	if sc.ctrl != nil {
+		phone.SetController(sc.ctrl)
+	}
+	if sc.observer != nil {
+		phone.SetObserver(sc.observer)
+	}
+	return &Session{phone: phone}, nil
+}
+
+// Phone exposes the underlying handset for inspection (temperatures, trace
+// internals); mutate it between runs at your own risk.
+func (s *Session) Phone() *device.Phone { return s.phone }
+
+// Run executes the workload in full, honoring context cancellation and
+// deadlines between simulation steps. On early stop it returns the partial
+// result together with the context's error.
+func (s *Session) Run(ctx context.Context, w workload.Workload) (*device.RunResult, error) {
+	return s.RunFor(ctx, w, 0)
+}
+
+// RunFor is Run truncated to durSec seconds of simulated time (<= 0 runs
+// the workload's full duration).
+func (s *Session) RunFor(ctx context.Context, w workload.Workload, durSec float64) (*device.RunResult, error) {
+	if w == nil {
+		return nil, errors.New("fleet: Run with nil workload")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.phone.RunContext(ctx, w, durSec)
+}

@@ -1,0 +1,33 @@
+package governor
+
+import "fmt"
+
+// Names lists the governors constructible via ByName, in the order the
+// paper's platform exposes them in sysfs.
+var Names = []string{"ondemand", "interactive", "conservative", "schedutil", "performance", "powersave"}
+
+// ByName constructs a cpufreq governor by its sysfs name over the given
+// ascending OPP frequency table. The empty name selects the platform
+// default (ondemand). Unknown names return an error rather than a nil
+// governor, so callers can surface typos instead of silently simulating the
+// wrong policy.
+func ByName(name string, freqsMHz []float64) (Governor, error) {
+	if len(freqsMHz) == 0 {
+		return nil, fmt.Errorf("governor: empty OPP frequency table")
+	}
+	switch name {
+	case "", "ondemand":
+		return NewOndemand(freqsMHz), nil
+	case "interactive":
+		return NewInteractive(freqsMHz), nil
+	case "conservative":
+		return NewConservative(len(freqsMHz)), nil
+	case "schedutil":
+		return NewSchedutil(freqsMHz), nil
+	case "performance":
+		return &Performance{NumLevels: len(freqsMHz)}, nil
+	case "powersave":
+		return &Powersave{}, nil
+	}
+	return nil, fmt.Errorf("governor: unknown governor %q (choose from %v)", name, Names)
+}

@@ -5,12 +5,16 @@
 // The package re-exports the building blocks a downstream user needs:
 //
 //   - a simulated Nexus-4-class handset (thermal RC network + DVFS-capable
-//     SoC + sensors + cpufreq governor): NewPhone, DefaultDeviceConfig
+//     SoC + sensors + cpufreq governor) behind an options-based Session:
+//     NewSession, WithDevice, WithGovernor, WithController, WithAmbientC,
+//     WithSeed, WithObserver
+//   - a concurrent multi-user batch engine for sweeps over users, device
+//     configs, workloads and controllers: NewFleet, Job, JobResult
 //   - the paper's thirteen evaluation workloads plus synthetic generators:
 //     Benchmarks, WorkloadByName
 //   - the training pipeline for the run-time skin/screen temperature
-//     predictor: CollectCorpus, TrainPredictor
-//   - the USTA controller itself: NewUSTA (attach with Phone.SetController)
+//     predictor: CollectCorpusContext, TrainPredictor
+//   - the USTA controller itself: NewUSTA (attach with WithController)
 //   - the ten-participant study population: StudyPopulation, DefaultLimitC
 //   - one runner per published table/figure: NewPipeline, RunFig1…RunFig5,
 //     RunTable1
@@ -18,21 +22,44 @@
 // Quickstart (see examples/quickstart for the runnable version):
 //
 //	cfg := repro.DefaultDeviceConfig()
-//	corpus := repro.CollectCorpus(cfg, repro.Benchmarks(1), 0)
+//	corpus, _ := repro.CollectCorpusContext(ctx, cfg, repro.Benchmarks(1), 0, 0)
 //	pred, _ := repro.TrainPredictor(corpus)
-//	phone := repro.NewPhone(cfg)
-//	phone.SetController(repro.NewUSTA(pred, repro.DefaultLimitC))
-//	res := phone.Run(repro.WorkloadByName("skype", 7), 0)
+//	s, err := repro.NewSession(
+//		repro.WithDevice(cfg),
+//		repro.WithController(repro.NewUSTA(pred, repro.DefaultLimitC)),
+//	)
+//	if err != nil { ... }
+//	res, _ := s.Run(ctx, repro.WorkloadByName("skype", 7))
 //	fmt.Printf("peak skin %.1f °C at %.2f GHz average\n",
 //		res.MaxSkinC, res.AvgFreqMHz/1000)
+//
+// Population-scale sweeps go through a Fleet, which fans independent jobs
+// out across a worker pool with deterministic per-job seeding — the same
+// jobs produce byte-identical results at any worker count:
+//
+//	fl := repro.NewFleet(repro.FleetConfig{Workers: runtime.GOMAXPROCS(0)})
+//	jobs := make([]repro.Job, 0, len(repro.StudyPopulation()))
+//	for _, u := range repro.StudyPopulation() {
+//		jobs = append(jobs, repro.Job{
+//			User:     u,
+//			Workload: repro.WorkloadByName("skype", 7),
+//			Controller: func(u repro.User) repro.Controller {
+//				return repro.NewUSTA(pred, u.SkinLimitC)
+//			},
+//		})
+//	}
+//	for _, jr := range fl.Run(ctx, jobs) { ... }
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/governor"
 	"repro/internal/ml"
 	"repro/internal/ml/linreg"
 	"repro/internal/ml/m5p"
@@ -52,8 +79,27 @@ type (
 	DeviceConfig = device.Config
 	// RunResult aggregates one workload execution.
 	RunResult = device.RunResult
+	// Sample is one telemetry point streamed to a WithObserver hook.
+	Sample = device.Sample
 	// Controller is the thermal-management hook (USTA implements it).
 	Controller = device.Controller
+	// Governor is the cpufreq policy interface.
+	Governor = governor.Governor
+
+	// Session is one simulated handset behind options-based construction
+	// and context-aware execution.
+	Session = fleet.Session
+	// SessionOption configures NewSession.
+	SessionOption = fleet.Option
+	// Fleet is the concurrent multi-user batch engine.
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes NewFleet.
+	FleetConfig = fleet.Config
+	// Job is one unit of fleet work: (user, workload, device config,
+	// controller factory).
+	Job = fleet.Job
+	// JobResult is one job's outcome, with per-job errors.
+	JobResult = fleet.JobResult
 
 	// Workload is a deterministic demand trace.
 	Workload = workload.Workload
@@ -90,8 +136,62 @@ const DefaultLimitC = users.DefaultLimitC
 // configuration.
 func DefaultDeviceConfig() DeviceConfig { return device.DefaultConfig() }
 
-// NewPhone builds a simulated handset with the stock ondemand governor.
-func NewPhone(cfg DeviceConfig) *Phone { return device.MustNew(cfg, nil) }
+// NewSession assembles a simulated handset from functional options. It
+// never panics: invalid configurations are reported as errors. The zero
+// option set is the calibrated default phone under the stock ondemand
+// governor.
+func NewSession(opts ...SessionOption) (*Session, error) { return fleet.NewSession(opts...) }
+
+// WithDevice sets the session's handset configuration.
+func WithDevice(cfg DeviceConfig) SessionOption { return fleet.WithDevice(cfg) }
+
+// WithGovernor installs a specific cpufreq governor instance.
+func WithGovernor(g Governor) SessionOption { return fleet.WithGovernor(g) }
+
+// WithGovernorName selects a governor by its sysfs name ("ondemand",
+// "interactive", "conservative", "schedutil", "performance", "powersave").
+func WithGovernorName(name string) SessionOption { return fleet.WithGovernorName(name) }
+
+// WithController attaches a thermal controller (e.g. NewUSTA) to the
+// session's phone.
+func WithController(c Controller) SessionOption { return fleet.WithController(c) }
+
+// WithAmbientC overrides the ambient temperature in °C.
+func WithAmbientC(c float64) SessionOption { return fleet.WithAmbientC(c) }
+
+// WithSeed overrides the device seed driving sensor noise.
+func WithSeed(seed int64) SessionOption { return fleet.WithSeed(seed) }
+
+// WithObserver installs a per-sample telemetry hook fired once per trace
+// row during a run — live streaming instead of the aggregate RunResult.
+func WithObserver(fn func(Sample)) SessionOption { return fleet.WithObserver(fn) }
+
+// NewFleet creates the concurrent batch engine; the zero FleetConfig is
+// valid and uses GOMAXPROCS workers.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// GovernorByName constructs a cpufreq governor by name against a device
+// configuration's OPP table.
+func GovernorByName(name string, cfg DeviceConfig) (Governor, error) {
+	freqs := make([]float64, len(cfg.SoC.OPPs))
+	for i, o := range cfg.SoC.OPPs {
+		freqs[i] = o.FreqMHz
+	}
+	return governor.ByName(name, freqs)
+}
+
+// NewPhone builds a simulated handset with the stock ondemand governor,
+// or nil if the configuration is invalid.
+//
+// Deprecated: use NewSession, which reports configuration errors and runs
+// under a context. NewPhone remains for one release.
+func NewPhone(cfg DeviceConfig) *Phone {
+	p, err := device.New(cfg, nil)
+	if err != nil {
+		return nil
+	}
+	return p
+}
 
 // Benchmarks returns the paper's thirteen evaluation workloads.
 func Benchmarks(seed uint64) []Workload {
@@ -120,8 +220,19 @@ func WorkloadByName(name string, seed uint64) Workload {
 
 // CollectCorpus runs the workloads under the stock governor and returns the
 // training log (maxPerRunSec <= 0 runs each in full).
+//
+// Deprecated: use CollectCorpusContext, which reports configuration errors,
+// honors cancellation and exposes the worker-pool width. CollectCorpus
+// returns nil on invalid configs.
 func CollectCorpus(cfg DeviceConfig, loads []Workload, maxPerRunSec float64) []Record {
 	return core.CollectCorpus(cfg, loads, maxPerRunSec)
+}
+
+// CollectCorpusContext collects the training log with per-workload runs
+// fanned out across a bounded worker pool (workers <= 0: GOMAXPROCS). The
+// concatenated log is identical at any worker count.
+func CollectCorpusContext(ctx context.Context, cfg DeviceConfig, loads []Workload, maxPerRunSec float64, workers int) ([]Record, error) {
+	return core.CollectCorpusContext(ctx, cfg, loads, maxPerRunSec, workers)
 }
 
 // TrainPredictor fits the paper's REPTree predictor on a corpus.
