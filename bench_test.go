@@ -333,22 +333,37 @@ func BenchmarkFleetRun(b *testing.B) {
 	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
 		counts = append(counts, p)
 	}
-	for _, workers := range counts {
-		b.Run("workers-"+itoa(workers), func(b *testing.B) {
-			fl := repro.NewFleet(repro.FleetConfig{Workers: workers, Seed: 42})
-			ctx := context.Background()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				results := fl.Run(ctx, jobs)
-				for _, r := range results {
-					if r.Err != nil {
-						b.Fatal(r.Err)
-					}
+	runBatch := func(b *testing.B, workers int, jobs []repro.Job) {
+		b.Helper()
+		fl := repro.NewFleet(repro.FleetConfig{Workers: workers, Seed: 42})
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := fl.Run(ctx, jobs)
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
 				}
 			}
-			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		}
+		b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	}
+	for _, workers := range counts {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			runBatch(b, workers, jobs)
 		})
 	}
+	// Trace-free variant: the memory diet for population sweeps that only
+	// consume aggregates (identical physics, no Trace/Records retention).
+	b.Run("workers-1-tracefree", func(b *testing.B) {
+		free := make([]repro.Job, len(jobs))
+		copy(free, jobs)
+		for i := range free {
+			free[i].TraceFree = true
+		}
+		b.ReportAllocs()
+		runBatch(b, 1, free)
+	})
 }
 
 // BenchmarkSysIDCalibration measures the thermal system-identification

@@ -97,6 +97,34 @@ func TestFleetSeedPrecedence(t *testing.T) {
 	}
 }
 
+// TestFleetDerivesDistinctSeedsForDefaultDevices: nil-Device jobs must get
+// per-job derived seeds (not the default config's own seed), so a
+// population's sensor-noise streams are independent and FleetConfig.Seed
+// actually steers them.
+func TestFleetDerivesDistinctSeedsForDefaultDevices(t *testing.T) {
+	ctx := context.Background()
+	jobs := []repro.Job{
+		{Workload: repro.Idle(30)},
+		{Workload: repro.Idle(30)},
+		{Workload: repro.Idle(30)},
+	}
+	a := repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 42}).Run(ctx, jobs)
+	seen := map[int64]bool{}
+	for _, r := range a {
+		if r.SeedUsed == 0 || r.SeedUsed == 1 {
+			t.Fatalf("job %d used seed %d; want a derived seed, not the default config's", r.Index, r.SeedUsed)
+		}
+		if seen[r.SeedUsed] {
+			t.Fatalf("seed %d reused across jobs", r.SeedUsed)
+		}
+		seen[r.SeedUsed] = true
+	}
+	b := repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 43}).Run(ctx, jobs)
+	if a[0].SeedUsed == b[0].SeedUsed {
+		t.Fatal("changing FleetConfig.Seed did not change derived seeds")
+	}
+}
+
 // TestFleetPerJobErrors: a broken job fails alone; its neighbors run.
 func TestFleetPerJobErrors(t *testing.T) {
 	bad := repro.DefaultDeviceConfig()
@@ -118,6 +146,68 @@ func TestFleetPerJobErrors(t *testing.T) {
 	}
 	if results[1].Result != nil || results[2].Result != nil {
 		t.Fatal("failed jobs should carry no result")
+	}
+}
+
+// TestFleetTraceFreeAggregatesIdentical is the trace-free contract: a
+// population sweep that only consumes aggregates must get bit-identical
+// numbers with and without trace retention — trace-free changes memory, not
+// physics.
+func TestFleetTraceFreeAggregatesIdentical(t *testing.T) {
+	ctx := context.Background()
+	traced := repro.NewFleet(repro.FleetConfig{Workers: 2, Seed: 42}).Run(ctx, fleetTestJobs())
+	free := fleetTestJobs()
+	for i := range free {
+		free[i].TraceFree = true
+	}
+	results := repro.NewFleet(repro.FleetConfig{Workers: 2, Seed: 42}).Run(ctx, free)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Result.Trace != nil || r.Result.Records != nil {
+			t.Fatalf("job %d: trace-free run retained history", i)
+		}
+		ref := traced[i].Result
+		if r.Result.MaxSkinC != ref.MaxSkinC {
+			t.Fatalf("job %d: MaxSkinC %v != traced %v", i, r.Result.MaxSkinC, ref.MaxSkinC)
+		}
+		if r.Result.AvgFreqMHz != ref.AvgFreqMHz {
+			t.Fatalf("job %d: AvgFreqMHz %v != traced %v", i, r.Result.AvgFreqMHz, ref.AvgFreqMHz)
+		}
+		if r.Result.EnergyJ != ref.EnergyJ || r.Result.MaxDieC != ref.MaxDieC {
+			t.Fatalf("job %d: aggregates diverged between traced and trace-free runs", i)
+		}
+		if ref.Trace == nil || ref.Trace.Len() == 0 {
+			t.Fatalf("job %d: traced reference lost its trace", i)
+		}
+	}
+}
+
+// TestSessionTraceFreeOption: the session-level opt-in matches the fleet's,
+// and observers still stream.
+func TestSessionTraceFreeOption(t *testing.T) {
+	samples := 0
+	s, err := repro.NewSession(
+		repro.WithSeed(9),
+		repro.WithTraceFree(),
+		repro.WithObserver(func(repro.Sample) { samples++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), repro.Idle(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil || res.Records != nil {
+		t.Fatal("trace-free session retained history")
+	}
+	if samples == 0 {
+		t.Fatal("observer did not fire in trace-free mode")
+	}
+	if res.MaxSkinC == 0 || res.DurSec != 30 {
+		t.Fatalf("aggregates missing: %+v", res)
 	}
 }
 

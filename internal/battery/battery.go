@@ -74,6 +74,10 @@ func (c Config) Validate() error {
 type Pack struct {
 	cfg Config
 	soc float64 // state of charge in [0,1]
+
+	// invCapJ is 1/(3600·CapacityWh): Wh-per-joule of pack capacity,
+	// precomputed so the per-tick drain update is division-free.
+	invCapJ float64
 }
 
 // New creates a pack at the given initial state of charge (clamped to
@@ -82,7 +86,7 @@ func New(cfg Config, initialSoC float64) (*Pack, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Pack{cfg: cfg, soc: clamp01(initialSoC)}, nil
+	return &Pack{cfg: cfg, soc: clamp01(initialSoC), invCapJ: 1 / (3600 * cfg.CapacityWh)}, nil
 }
 
 // MustNew is New that panics on configuration errors.
@@ -138,8 +142,7 @@ func (p *Pack) Discharge(loadWatts, dt float64) (heatWatts float64) {
 	}
 	i := loadWatts / p.OCV()
 	heat := i * i * p.cfg.InternalOhm
-	drainWh := (loadWatts + heat) * dt / 3600
-	p.soc = clamp01(p.soc - drainWh/p.cfg.CapacityWh)
+	p.soc = clamp01(p.soc - (loadWatts+heat)*dt*p.invCapJ)
 	return heat
 }
 

@@ -97,8 +97,9 @@ type Phone struct {
 	logger      *sensors.Logger
 	observer    func(Sample)
 
-	timeSec  float64
-	touching bool
+	timeSec   float64
+	touching  bool
+	traceFree bool
 
 	// governor window accumulation
 	govWinUtil    float64
@@ -107,7 +108,8 @@ type Phone struct {
 	lastCtrlSec   float64
 
 	// instantaneous observables
-	utilNow float64
+	utilNow   float64
+	powerNowW float64 // total dissipation set by the last step
 }
 
 // New creates a phone with the given configuration and governor. The
@@ -195,6 +197,23 @@ type Sample struct {
 // time) from the goroutine executing Run; it must not retain the Sample
 // beyond the call if it needs to stay allocation-free.
 func (p *Phone) SetObserver(fn func(Sample)) { p.observer = fn }
+
+// SetTraceFree toggles trace-free runs: RunResult.Trace and
+// RunResult.Records stay nil and the logger retains only its latest record
+// (the run-time predictor still works), while every aggregate — peak
+// temperatures, averages, energy, work — is computed exactly as before.
+// Observers still fire, so callers can stream instead of buffering. This is
+// the memory diet for fleet-scale population sweeps.
+//
+// Controllers that read only LatestRecord (USTA) behave identically;
+// controllers that consume the full Records history — e.g. the
+// recalibrating wrapper, which needs minutes of log to refit — never see
+// enough history in trace-free mode and effectively stay dormant, so keep
+// such runs traced.
+func (p *Phone) SetTraceFree(on bool) {
+	p.traceFree = on
+	p.logger.SetRetainLatestOnly(on)
+}
 
 // Governor returns the active cpufreq governor.
 func (p *Phone) Governor() governor.Governor { return p.gov }
@@ -286,10 +305,20 @@ func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64
 		Workload: w.Name(),
 		Governor: p.gov.Name(),
 		DurSec:   dur,
-		Trace: trace.New(
+	}
+	dt := p.cfg.StepSec
+	steps := int(math.Round(dur / dt))
+	if !p.traceFree {
+		// Preallocate the row capacity the record period implies, so the
+		// hot loop never regrows a column.
+		rows := 0
+		if p.cfg.RecordPeriodSec > 0 {
+			rows = int(dur/p.cfg.RecordPeriodSec) + 2
+		}
+		res.Trace = trace.NewWithCap(rows,
 			"skin_c", "screen_c", "die_c", "battery_c",
 			"freq_mhz", "util", "max_level",
-		),
+		)
 	}
 	if p.ctrl != nil {
 		res.Ctrl = p.ctrl.Name()
@@ -300,8 +329,7 @@ func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64
 	res.MaxBatteryC = p.net.Temp(p.nodes.Battery)
 	res.StartSoC = p.pack.SoC()
 
-	dt := p.cfg.StepSec
-	steps := int(math.Round(dur / dt))
+	at := workload.SamplerOf(w) // per-run cursor: cheap monotone sampling
 	var freqSum, utilSum float64
 	lastRecord := -math.MaxFloat64
 	finalize := func(done int) {
@@ -312,7 +340,9 @@ func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64
 		if done < steps { // cancelled: report actual simulated time
 			res.DurSec = float64(done) * dt
 		}
-		res.Records = p.logger.Records()
+		if !p.traceFree {
+			res.Records = p.logger.Records()
+		}
 		res.EndSoC = p.pack.SoC()
 	}
 	for i := 0; i < steps; i++ {
@@ -320,42 +350,52 @@ func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64
 			finalize(i)
 			return res, err
 		}
-		p.step(w, dt)
+		demand := p.step(at, dt)
 
-		freqSum += p.cpu.FreqMHz()
+		freq := p.cpu.FreqMHz()
+		freqSum += freq
 		utilSum += p.utilNow
-		res.EnergyJ += p.totalPowerW() * dt
+		res.EnergyJ += p.powerNowW * dt
 		capNow := p.cpu.CapacityMHz()
-		demand := w.At(p.timeSec-dt).CPUFrac * p.cpu.MaxCapacityMHz()
 		res.WorkDemanded += demand * dt
-		res.WorkDone += math.Min(demand, capNow) * dt
+		served := demand
+		if capNow < served {
+			served = capNow
+		}
+		res.WorkDone += served * dt
 
-		if s := p.SkinTempC(); s > res.MaxSkinC {
-			res.MaxSkinC = s
+		skin := p.net.Temp(p.nodes.CoverMid)
+		screen := p.net.Temp(p.nodes.Screen)
+		die := p.net.Temp(p.nodes.Die)
+		bat := p.net.Temp(p.nodes.Battery)
+		if skin > res.MaxSkinC {
+			res.MaxSkinC = skin
 		}
-		if s := p.ScreenTempC(); s > res.MaxScreenC {
-			res.MaxScreenC = s
+		if screen > res.MaxScreenC {
+			res.MaxScreenC = screen
 		}
-		if s := p.DieTempC(); s > res.MaxDieC {
-			res.MaxDieC = s
+		if die > res.MaxDieC {
+			res.MaxDieC = die
 		}
-		if s := p.net.Temp(p.nodes.Battery); s > res.MaxBatteryC {
-			res.MaxBatteryC = s
+		if bat > res.MaxBatteryC {
+			res.MaxBatteryC = bat
 		}
 		if p.timeSec-lastRecord+1e-9 >= p.cfg.RecordPeriodSec {
-			res.Trace.Append(p.timeSec,
-				p.SkinTempC(), p.ScreenTempC(), p.DieTempC(), p.net.Temp(p.nodes.Battery),
-				p.cpu.FreqMHz(), p.utilNow, float64(p.cpu.MaxLevel()),
-			)
+			if res.Trace != nil {
+				res.Trace.Append(p.timeSec,
+					skin, screen, die, bat,
+					freq, p.utilNow, float64(p.cpu.MaxLevel()),
+				)
+			}
 			lastRecord = p.timeSec
 			if p.observer != nil {
 				p.observer(Sample{
 					TimeSec:  p.timeSec,
-					SkinC:    p.SkinTempC(),
-					ScreenC:  p.ScreenTempC(),
-					DieC:     p.DieTempC(),
-					BatteryC: p.net.Temp(p.nodes.Battery),
-					FreqMHz:  p.cpu.FreqMHz(),
+					SkinC:    skin,
+					ScreenC:  screen,
+					DieC:     die,
+					BatteryC: bat,
+					FreqMHz:  freq,
 					Util:     p.utilNow,
 					MaxLevel: p.cpu.MaxLevel(),
 				})
@@ -366,9 +406,12 @@ func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64
 	return res, nil
 }
 
-// step advances one base tick.
-func (p *Phone) step(w workload.Workload, dt float64) {
-	sample := w.At(p.timeSec)
+// step advances one base tick, sampling the workload through the run's
+// sampler (a Cursored fast path when the workload offers one). It returns
+// the workload's CPU demand in aggregate core-MHz so RunContext can
+// account work without re-sampling the workload.
+func (p *Phone) step(at func(float64) workload.Sample, dt float64) (demandMHz float64) {
+	sample := at(p.timeSec)
 
 	// 1. Demand → utilization at the current operating point.
 	demand := sample.CPUFrac * p.cpu.MaxCapacityMHz()
@@ -409,6 +452,9 @@ func (p *Phone) step(w workload.Workload, dt float64) {
 	p.net.SetPower(p.nodes.PCB, auxPower)
 	p.net.SetPower(p.nodes.Battery, batteryHeat)
 	p.net.SetPower(p.nodes.Screen, displayPower)
+	// Summed in node order, matching a sweep over the network's power
+	// vector, so energy accounting is bit-identical to summing the nodes.
+	p.powerNowW = cpuPower + gpuPower + auxPower + batteryHeat + displayPower
 
 	// 3. Hand contact (palm coupling + blocked convection).
 	if sample.Touch != p.touching {
@@ -420,12 +466,14 @@ func (p *Phone) step(w workload.Workload, dt float64) {
 	p.net.Step(dt)
 	p.timeSec += dt
 
-	// 5. Sensors + logging.
-	cpuC := p.cpuSensor.Read(p.net.Temp(p.nodes.Die), dt)
-	batC := p.batSensor.Read(p.net.Temp(p.nodes.Battery), dt)
-	skinC := p.skinTherm.Read(p.net.Temp(p.nodes.CoverMid), dt)
-	screenC := p.screenTherm.Read(p.net.Temp(p.nodes.Screen), dt)
-	p.logger.Observe(p.timeSec, util, p.cpu.FreqMHz(), cpuC, batC, skinC, screenC)
+	// 5. Sensors + logging. The lag filters advance every tick; the ADC
+	// conversion (noise + quantization) happens inside the logger, once per
+	// log line.
+	p.cpuSensor.Advance(p.net.Temp(p.nodes.Die), dt)
+	p.batSensor.Advance(p.net.Temp(p.nodes.Battery), dt)
+	p.skinTherm.Advance(p.net.Temp(p.nodes.CoverMid), dt)
+	p.screenTherm.Advance(p.net.Temp(p.nodes.Screen), dt)
+	p.logger.Observe(p.timeSec, util, p.cpu.FreqMHz(), p.cpuSensor, p.batSensor, p.skinTherm, p.screenTherm)
 
 	// 6. Governor sampling window.
 	p.govWinUtil += util
@@ -450,13 +498,5 @@ func (p *Phone) step(w workload.Workload, dt float64) {
 		p.ctrl.Act(p)
 		p.lastCtrlSec = p.timeSec
 	}
-}
-
-// totalPowerW reports the current total dissipation for energy accounting.
-func (p *Phone) totalPowerW() float64 {
-	var s float64
-	for id := thermal.NodeID(0); int(id) < p.net.NumNodes(); id++ {
-		s += p.net.Power(id)
-	}
-	return s
+	return demand
 }

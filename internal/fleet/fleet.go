@@ -53,6 +53,14 @@ type Job struct {
 	Controller func(u users.User) device.Controller
 	// DurSec truncates the run (<= 0: full workload duration).
 	DurSec float64
+	// TraceFree skips Trace and Records retention on the result while
+	// keeping every aggregate (peak temperatures, averages, energy, work)
+	// bit-identical to a traced run. Population sweeps that only consume
+	// aggregates should set it: per-second history dominates the memory of
+	// large batches. Controllers that consume the full Records history
+	// (the recalibrating wrapper) need traced runs; see
+	// device.Phone.SetTraceFree.
+	TraceFree bool
 	// Seed, when non-zero, pins the device seed (zero is "unset"
 	// throughout this codebase, so a literal zero seed cannot be pinned
 	// here — set Device.Seed for that). When zero, a non-zero
@@ -138,12 +146,18 @@ func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
 		return r
 	}
 	cfg := device.DefaultConfig()
+	pinnedByConfig := false
 	if job.Device != nil {
 		cfg = *job.Device
+		// Only a caller-provided config can pin the seed; the fallback
+		// default config's own seed must not suppress per-job derivation,
+		// or every nil-Device job in a population would share one noise
+		// stream.
+		pinnedByConfig = cfg.Seed != 0
 	}
 	seed := job.Seed
 	if seed == 0 {
-		if cfg.Seed != 0 { // honor the config's own seed, like Session
+		if pinnedByConfig { // honor the config's own seed, like Session
 			seed = cfg.Seed
 		} else {
 			seed = DeriveSeed(f.cfg.Seed, i)
@@ -164,6 +178,9 @@ func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
 		if c := job.Controller(job.User); c != nil {
 			phone.SetController(c)
 		}
+	}
+	if job.TraceFree {
+		phone.SetTraceFree(true)
 	}
 	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
 	return r

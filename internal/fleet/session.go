@@ -26,14 +26,15 @@ const (
 
 // sessionConfig accumulates option state before the phone is assembled.
 type sessionConfig struct {
-	device   device.Config
-	gov      governor.Governor
-	govName  string
-	govSet   bool
-	ctrl     device.Controller
-	observer func(device.Sample)
-	ambient  *float64
-	seed     *int64
+	device    device.Config
+	gov       governor.Governor
+	govName   string
+	govSet    bool
+	ctrl      device.Controller
+	observer  func(device.Sample)
+	ambient   *float64
+	seed      *int64
+	traceFree bool
 }
 
 // Option configures a Session under construction. Options validate eagerly
@@ -126,6 +127,21 @@ func WithObserver(fn func(device.Sample)) Option {
 	}
 }
 
+// WithTraceFree runs the session trace-free: RunResult.Trace and
+// RunResult.Records stay nil while all aggregates (peak temperatures,
+// averages, energy, work) are computed exactly as in a traced run.
+// Observers still fire every record period, so telemetry can be streamed
+// instead of buffered. Use for long or many runs where the per-second
+// history would dominate memory. Controllers that consume the full
+// Records history (the recalibrating wrapper) need traced runs; see
+// device.Phone.SetTraceFree.
+func WithTraceFree() Option {
+	return func(sc *sessionConfig) error {
+		sc.traceFree = true
+		return nil
+	}
+}
+
 // Session is one simulated handset plus its run policy. Consecutive Run
 // calls continue on the same phone: thermal state, battery charge and the
 // controller's history carry over, exactly like back-to-back apps on a real
@@ -174,6 +190,9 @@ func NewSession(opts ...Option) (*Session, error) {
 	}
 	if sc.observer != nil {
 		phone.SetObserver(sc.observer)
+	}
+	if sc.traceFree {
+		phone.SetTraceFree(true)
 	}
 	return &Session{phone: phone}, nil
 }

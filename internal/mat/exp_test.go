@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpIdentityAndZero(t *testing.T) {
+	z := NewDense(3, 3)
+	e, err := Exp(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(e.At(i, j)-want) > 1e-15 {
+				t.Fatalf("exp(0)[%d][%d] = %v want %v", i, j, e.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestExpDiagonal(t *testing.T) {
+	d := NewDense(3, 3)
+	vals := []float64{-2.5, 0.3, 1.7}
+	for i, v := range vals {
+		d.Set(i, i, v)
+	}
+	e, err := Exp(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Abs(e.At(i, i)-math.Exp(v)) > 1e-12*math.Exp(v) {
+			t.Fatalf("exp(diag)[%d] = %v want %v", i, e.At(i, i), math.Exp(v))
+		}
+	}
+}
+
+func TestExpNilpotent(t *testing.T) {
+	// For strictly upper-triangular N with N² = 0: exp(N) = I + N.
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.25)
+	e, err := Exp(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.At(0, 0)-1) > 1e-14 || math.Abs(e.At(1, 1)-1) > 1e-14 ||
+		math.Abs(e.At(0, 1)-3.25) > 1e-13 || math.Abs(e.At(1, 0)) > 1e-14 {
+		t.Fatalf("exp(nilpotent) = %v", e.data)
+	}
+}
+
+func TestExpRotation(t *testing.T) {
+	// exp([[0,-θ],[θ,0]]) is the rotation matrix by θ.
+	theta := 1.1
+	m := NewDense(2, 2)
+	m.Set(0, 1, -theta)
+	m.Set(1, 0, theta)
+	e, err := Exp(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := math.Cos(theta), math.Sin(theta)
+	want := [][]float64{{c, -s}, {s, c}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(e.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("rotation exp[%d][%d] = %v want %v", i, j, e.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestExpAdditionPropertyRandom(t *testing.T) {
+	// exp(2X) = exp(X)·exp(X) exercises scaling-and-squaring consistency,
+	// including norms above the scaling threshold.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(5)
+		x := NewDense(n, n)
+		for i := range x.data {
+			x.data[i] = (rng.Float64() - 0.5) * 2
+		}
+		x2 := x.Clone()
+		for i := range x2.data {
+			x2.data[i] *= 2
+		}
+		e2, err := Exp(x2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Exp(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ee, _ := Mul(e, e)
+		for i := range ee.data {
+			if diff := math.Abs(ee.data[i] - e2.data[i]); diff > 1e-9*(1+math.Abs(e2.data[i])) {
+				t.Fatalf("trial %d: exp(2X) vs exp(X)² differ by %v at %d", trial, diff, i)
+			}
+		}
+	}
+}
+
+func TestExpRejectsNonSquare(t *testing.T) {
+	if _, err := Exp(NewDense(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

@@ -27,12 +27,19 @@ type Sensor struct {
 	rng    *rand.Rand
 	state  float64
 	primed bool
+
+	// alphaDt/alpha cache the lag coefficient 1−e^(−dt/τ) for the last dt,
+	// so fixed-step simulations do not pay a math.Exp per tick.
+	alphaDt float64
+	alpha   float64
 }
 
 // NewSensor creates a sensor with the given quantization, noise, and lag,
 // using a deterministic noise stream derived from seed.
 func NewSensor(quantC, noiseStd, lagTau float64, seed int64) *Sensor {
-	return &Sensor{QuantC: quantC, NoiseStd: noiseStd, LagTau: lagTau, rng: rand.New(rand.NewSource(seed))}
+	// alphaDt = -1 guarantees the cached-coefficient fast path can only
+	// match real (positive) step sizes.
+	return &Sensor{QuantC: quantC, NoiseStd: noiseStd, LagTau: lagTau, alphaDt: -1, rng: rand.New(rand.NewSource(seed))}
 }
 
 // BuiltinTempSensor returns the model of an on-SoC/battery temperature
@@ -44,18 +51,47 @@ func BuiltinTempSensor(seed int64) *Sensor { return NewSensor(0.1, 0.15, 2.0, se
 // adhesive pad.
 func Thermistor(seed int64) *Sensor { return NewSensor(0.02, 0.05, 1.0, seed) }
 
-// Read advances the sensor by dt seconds with the physical temperature
-// trueC and returns the measured value.
-func (s *Sensor) Read(trueC, dt float64) float64 {
+// Advance propagates the first-order lag by dt seconds with the physical
+// temperature trueC. No measurement is taken — pair with Sample, which
+// models the ADC conversion. Splitting the two matches the real chain (the
+// package lags continuously; the logging app converts once per log line)
+// and keeps the per-simulation-tick cost to one multiply-add.
+func (s *Sensor) Advance(trueC, dt float64) {
+	if s.primed && dt == s.alphaDt {
+		// Fast path for fixed-step callers: the coefficient is cached and
+		// this body is small enough to inline into the simulation tick.
+		s.state += s.alpha * (trueC - s.state)
+		return
+	}
+	s.advanceSlow(trueC, dt)
+}
+
+// advanceSlow handles priming, degenerate lags, and dt changes.
+func (s *Sensor) advanceSlow(trueC, dt float64) {
 	if !s.primed {
 		s.state = trueC
 		s.primed = true
-	} else if s.LagTau <= 0 || dt <= 0 {
-		s.state = trueC
-	} else {
-		alpha := 1 - math.Exp(-dt/s.LagTau)
-		s.state += alpha * (trueC - s.state)
+		// Prime the coefficient cache so the next call takes the fast path.
+		if s.LagTau > 0 && dt > 0 {
+			s.alphaDt = dt
+			s.alpha = 1 - math.Exp(-dt/s.LagTau)
+		}
+		return
 	}
+	if s.LagTau <= 0 || dt <= 0 {
+		// Degenerate lag or step: the reading tracks the input exactly. The
+		// cache is left untouched (it only ever holds positive steps).
+		s.state = trueC
+		return
+	}
+	s.alphaDt = dt
+	s.alpha = 1 - math.Exp(-dt/s.LagTau)
+	s.state += s.alpha * (trueC - s.state)
+}
+
+// Sample converts the current lagged temperature into a measured value:
+// additive Gaussian noise, then ADC quantization.
+func (s *Sensor) Sample() float64 {
 	v := s.state
 	if s.NoiseStd > 0 {
 		v += s.rng.NormFloat64() * s.NoiseStd
@@ -64,6 +100,13 @@ func (s *Sensor) Read(trueC, dt float64) float64 {
 		v = math.Round(v/s.QuantC) * s.QuantC
 	}
 	return v
+}
+
+// Read advances the sensor by dt seconds with the physical temperature
+// trueC and returns the measured value (Advance + Sample).
+func (s *Sensor) Read(trueC, dt float64) float64 {
+	s.Advance(trueC, dt)
+	return s.Sample()
 }
 
 // Reset clears the lag state so the next Read primes from the physical
@@ -102,11 +145,12 @@ type Logger struct {
 
 	records []Record
 
-	winStart   float64
-	utilSum    float64
-	freqSum    float64
-	winSamples int
-	started    bool
+	winStart     float64
+	utilSum      float64
+	freqSum      float64
+	winSamples   int
+	started      bool
+	retainLatest bool
 }
 
 // NewLogger creates a logger with the given period in seconds.
@@ -117,10 +161,26 @@ func NewLogger(periodSec float64) *Logger {
 	return &Logger{PeriodSec: periodSec}
 }
 
+// SetRetainLatestOnly switches the logger to keep only the most recent
+// record instead of the full history. LatestRecord consumers (the run-time
+// predictor) are unaffected; Records returns at most one entry — any
+// history already accumulated is trimmed to its latest record on enable.
+// Intended for trace-free fleet runs where per-second history would
+// dominate memory.
+func (l *Logger) SetRetainLatestOnly(on bool) {
+	l.retainLatest = on
+	if on && len(l.records) > 1 {
+		l.records[0] = l.records[len(l.records)-1]
+		l.records = l.records[:1]
+	}
+}
+
 // Observe feeds one simulation step into the logger. util and freqMHz are
-// accumulated; when a logging window closes, a Record is emitted with the
-// instantaneous sensor readings supplied by the closure arguments.
-func (l *Logger) Observe(t, util, freqMHz float64, cpuC, batC, skinC, screenC float64) {
+// accumulated; when a logging window closes, a Record is emitted by
+// sampling the four attached sensors — the ADC conversion (noise +
+// quantization) happens once per log line, exactly like the real logging
+// app, so ticks inside a window cost only the accumulation.
+func (l *Logger) Observe(t, util, freqMHz float64, cpu, bat, skin, screen *Sensor) {
 	if !l.started {
 		l.started = true
 		l.winStart = t
@@ -129,15 +189,20 @@ func (l *Logger) Observe(t, util, freqMHz float64, cpuC, batC, skinC, screenC fl
 	l.freqSum += freqMHz
 	l.winSamples++
 	if t-l.winStart+1e-9 >= l.PeriodSec {
-		l.records = append(l.records, Record{
+		rec := Record{
 			TimeSec:      t,
-			CPUTempC:     cpuC,
-			BatteryTempC: batC,
+			CPUTempC:     cpu.Sample(),
+			BatteryTempC: bat.Sample(),
 			Util:         l.utilSum / float64(l.winSamples),
 			FreqMHz:      l.freqSum / float64(l.winSamples),
-			SkinTempC:    skinC,
-			ScreenTempC:  screenC,
-		})
+			SkinTempC:    skin.Sample(),
+			ScreenTempC:  screen.Sample(),
+		}
+		if n := len(l.records); l.retainLatest && n > 0 {
+			l.records[n-1] = rec // invariant: n == 1 while retaining latest
+		} else {
+			l.records = append(l.records, rec)
+		}
 		l.winStart = t
 		l.utilSum, l.freqSum, l.winSamples = 0, 0, 0
 	}

@@ -124,28 +124,56 @@ func TestRecordFeatures(t *testing.T) {
 	}
 }
 
+// fixedSensor returns an ideal sensor pinned at v, for logger tests.
+func fixedSensor(v float64) *Sensor {
+	s := NewSensor(0, 0, 0, 1)
+	s.Advance(v, 1)
+	return s
+}
+
 func TestLoggerEmitsAtPeriod(t *testing.T) {
 	l := NewLogger(1.0)
+	cpu, bat, skin, screen := fixedSensor(50), fixedSensor(32), fixedSensor(38), fixedSensor(36)
 	dt := 0.1
 	for i := 0; i <= 50; i++ {
 		tt := float64(i) * dt
-		l.Observe(tt, 0.5, 1000, 50, 32, 38, 36)
+		l.Observe(tt, 0.5, 1000, cpu, bat, skin, screen)
 	}
 	recs := l.Records()
 	if len(recs) < 4 || len(recs) > 6 {
 		t.Fatalf("5 s at 1 Hz logging should yield ~5 records, got %d", len(recs))
 	}
+	if recs[0].CPUTempC != 50 || recs[0].ScreenTempC != 36 {
+		t.Fatalf("record did not sample the sensors: %+v", recs[0])
+	}
+}
+
+func TestLoggerRetainLatestOnly(t *testing.T) {
+	l := NewLogger(1.0)
+	l.SetRetainLatestOnly(true)
+	cpu, bat, skin, screen := fixedSensor(50), fixedSensor(32), fixedSensor(38), fixedSensor(36)
+	for i := 0; i <= 100; i++ {
+		l.Observe(float64(i)*0.1, 0.5, 1000, cpu, bat, skin, screen)
+	}
+	if got := len(l.Records()); got != 1 {
+		t.Fatalf("retain-latest logger kept %d records, want 1", got)
+	}
+	rec, ok := l.Latest()
+	if !ok || rec.TimeSec < 9 {
+		t.Fatalf("Latest should be the final window, got %+v ok=%v", rec, ok)
+	}
 }
 
 func TestLoggerAveragesWindow(t *testing.T) {
 	l := NewLogger(1.0)
+	cpu, bat, skin, screen := fixedSensor(50), fixedSensor(32), fixedSensor(38), fixedSensor(36)
 	// Ten samples of alternating utilization 0.2/0.8 average to 0.5.
 	for i := 0; i <= 10; i++ {
 		u := 0.2
 		if i%2 == 1 {
 			u = 0.8
 		}
-		l.Observe(float64(i)*0.1, u, 1000, 50, 32, 38, 36)
+		l.Observe(float64(i)*0.1, u, 1000, cpu, bat, skin, screen)
 	}
 	rec, ok := l.Latest()
 	if !ok {
@@ -165,8 +193,9 @@ func TestLoggerLatestEmpty(t *testing.T) {
 
 func TestLoggerReset(t *testing.T) {
 	l := NewLogger(1.0)
+	cpu, bat, skin, screen := fixedSensor(50), fixedSensor(32), fixedSensor(38), fixedSensor(36)
 	for i := 0; i <= 20; i++ {
-		l.Observe(float64(i)*0.1, 0.5, 1000, 50, 32, 38, 36)
+		l.Observe(float64(i)*0.1, 0.5, 1000, cpu, bat, skin, screen)
 	}
 	l.Reset()
 	if len(l.Records()) != 0 {
@@ -206,5 +235,32 @@ func TestQuantizationGridProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRetainLatestTrimsExistingHistory(t *testing.T) {
+	l := NewLogger(1.0)
+	cpu, bat, skin, screen := fixedSensor(50), fixedSensor(32), fixedSensor(38), fixedSensor(36)
+	for i := 0; i <= 50; i++ {
+		l.Observe(float64(i)*0.1, 0.5, 1000, cpu, bat, skin, screen)
+	}
+	if len(l.Records()) < 2 {
+		t.Fatal("setup: expected history")
+	}
+	last, _ := l.Latest()
+	l.SetRetainLatestOnly(true)
+	if got := len(l.Records()); got != 1 {
+		t.Fatalf("enable did not trim history: %d records", got)
+	}
+	if rec, _ := l.Latest(); rec != last {
+		t.Fatalf("trim kept %+v, want the latest record %+v", rec, last)
+	}
+	// New windows must keep flowing into Latest after the toggle.
+	for i := 51; i <= 80; i++ {
+		l.Observe(float64(i)*0.1, 0.9, 1500, cpu, bat, skin, screen)
+	}
+	rec, _ := l.Latest()
+	if rec.TimeSec <= last.TimeSec || len(l.Records()) != 1 {
+		t.Fatalf("Latest frozen after toggle: %+v", rec)
 	}
 }

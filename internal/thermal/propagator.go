@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// maxCachedPropagators bounds the per-network propagator cache. Simulated
+// runs alternate between a handful of configurations (touching / not
+// touching, occasionally a re-fitted conductance set), so a short MRU list
+// captures effectively all transitions.
+const maxCachedPropagators = 8
+
+// propagator is the exact one-step advance map of the network's linear
+// time-invariant transient for a fixed conductance configuration and step
+// size:
+//
+//	T(t+dt) = A·T(t) + W·P + ambient·vAmb + vFixed
+//
+// where A = exp(M·dt) for the generator M = C⁻¹·(−G) and
+// W = (∫₀^dt exp(M·s) ds)·C⁻¹ is the zero-order-hold input map. Power and
+// bath temperatures are held constant across the step — the same
+// assumption the per-tick RK4 integration makes — so the advance is exact
+// for piecewise-constant inputs. Ambient changes stay free: the
+// ambient-tracking bath term is kept factored as ambient·vAmb.
+type propagator struct {
+	sig uint64
+	dt  float64
+
+	a      []float64 // n×n row-major exp(M·dt)
+	w      []float64 // n×n row-major ZOH input map (includes C⁻¹)
+	vAmb   []float64 // W · (per-node ambient-tracking bath conductance)
+	vFixed []float64 // W · (per-node Σ g_b·T_b over fixed-temperature baths)
+}
+
+// sharedProps is the process-wide propagator cache. Fleet runs build one
+// Network per job from identical configurations; sharing the finished
+// (immutable) propagators across networks means each distinct
+// (configuration, dt) pair pays the matrix exponential exactly once per
+// process instead of once per job. Entries are read-only after insertion,
+// so lookups are safe from any worker goroutine.
+var sharedProps struct {
+	sync.RWMutex
+	m map[propKey]*propagator
+}
+
+type propKey struct {
+	sig uint64
+	dt  float64
+}
+
+// maxSharedPropagators bounds the shared cache; on overflow the cache is
+// reset, which only costs rebuilds. Real fleets cycle through a handful of
+// configurations; randomized-dt test workloads are what the bound guards
+// against.
+const maxSharedPropagators = 512
+
+// propagatorFor returns the cached propagator for the current configuration
+// fingerprint and step size, building (and caching) it on a miss. The hit
+// is moved to the front so recurring configurations stay O(1). It returns
+// nil if the matrix exponential cannot be computed; callers fall back to
+// RK4.
+func (n *Network) propagatorFor(dt float64) *propagator {
+	for i, p := range n.props {
+		if p.sig == n.sig && p.dt == dt {
+			if i != 0 {
+				copy(n.props[1:i+1], n.props[:i])
+				n.props[0] = p
+			}
+			return p
+		}
+	}
+	key := propKey{sig: n.sig, dt: dt}
+	sharedProps.RLock()
+	p := sharedProps.m[key]
+	sharedProps.RUnlock()
+	if p == nil {
+		if p = n.buildPropagator(dt); p == nil {
+			return nil
+		}
+		sharedProps.Lock()
+		if sharedProps.m == nil || len(sharedProps.m) >= maxSharedPropagators {
+			sharedProps.m = make(map[propKey]*propagator)
+		}
+		sharedProps.m[key] = p
+		sharedProps.Unlock()
+	}
+	if len(n.props) < maxCachedPropagators {
+		n.props = append(n.props, nil)
+	}
+	copy(n.props[1:], n.props)
+	n.props[0] = p
+	return p
+}
+
+// buildPropagator computes the exponential propagator for the current
+// configuration via scaling-and-squaring on the augmented generator
+//
+//	exp([[M·dt, I·dt], [0, 0]]) = [[A, S], [0, I]],  S = ∫₀^dt exp(M·s) ds
+//
+// which yields the state map and the input integral in one call.
+func (n *Network) buildPropagator(dt float64) *propagator {
+	ln := len(n.caps)
+	aug := mat.NewDense(2*ln, 2*ln)
+	for i := 0; i < ln; i++ {
+		ci := n.caps[i]
+		var gsum float64
+		for _, e := range n.adj[i] {
+			gsum += e.g
+			aug.Set(i, int(e.other), aug.At(i, int(e.other))+e.g*dt/ci)
+		}
+		for _, b := range n.baths[i] {
+			gsum += b.g
+		}
+		aug.Set(i, i, aug.At(i, i)-gsum*dt/ci)
+		aug.Set(i, ln+i, dt)
+	}
+	e, err := mat.Exp(aug)
+	if err != nil {
+		return nil
+	}
+	p := &propagator{
+		sig:    n.sig,
+		dt:     dt,
+		a:      make([]float64, ln*ln),
+		w:      make([]float64, ln*ln),
+		vAmb:   make([]float64, ln),
+		vFixed: make([]float64, ln),
+	}
+	for i := 0; i < ln; i++ {
+		for j := 0; j < ln; j++ {
+			p.a[i*ln+j] = e.At(i, j)
+			p.w[i*ln+j] = e.At(i, ln+j) / n.caps[j]
+		}
+	}
+	// Split the bath drive into an ambient-tracking part (recombined with
+	// the live ambient every step) and a fixed part folded in up front.
+	gAmb := make([]float64, ln)
+	fixed := make([]float64, ln)
+	for i := 0; i < ln; i++ {
+		for _, b := range n.baths[i] {
+			if b.useAmbient {
+				gAmb[i] += b.g
+			} else {
+				fixed[i] += b.g * b.temp
+			}
+		}
+	}
+	for i := 0; i < ln; i++ {
+		row := p.w[i*ln : (i+1)*ln]
+		var va, vf float64
+		for j, wv := range row {
+			va += wv * gAmb[j]
+			vf += wv * fixed[j]
+		}
+		p.vAmb[i] = va
+		p.vFixed[i] = vf
+	}
+	return p
+}
+
+// advance applies the propagator to the network state: one fused dense
+// mat-vec over the temperatures and the power vector. The state and
+// scratch slices are swapped instead of copied.
+func (p *propagator) advance(n *Network) {
+	temps, power, out := n.temps, n.power, n.tmp
+	ln := len(temps)
+	amb := n.ambient
+	pw := power[:ln]
+	a, w := p.a, p.w
+	for i := 0; i < ln; i++ {
+		ar := a[i*ln : i*ln+ln : i*ln+ln]
+		wr := w[i*ln : i*ln+ln : i*ln+ln]
+		// Four independent accumulators break the floating-point add
+		// dependency chain; ticks are latency-bound here.
+		s0 := p.vAmb[i]*amb + p.vFixed[i]
+		var s1, s2, s3 float64
+		j := 0
+		for ; j+3 < ln; j += 4 {
+			s0 += ar[j]*temps[j] + wr[j]*pw[j]
+			s1 += ar[j+1]*temps[j+1] + wr[j+1]*pw[j+1]
+			s2 += ar[j+2]*temps[j+2] + wr[j+2]*pw[j+2]
+			s3 += ar[j+3]*temps[j+3] + wr[j+3]*pw[j+3]
+		}
+		for ; j < ln; j++ {
+			s0 += ar[j]*temps[j] + wr[j]*pw[j]
+		}
+		out[i] = (s0 + s1) + (s2 + s3)
+	}
+	n.temps, n.tmp = out, temps
+}

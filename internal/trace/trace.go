@@ -28,10 +28,24 @@ type TimeSeries struct {
 
 // New creates an empty TimeSeries with the given column names. Units can be
 // attached afterwards via Lookup.
-func New(names ...string) *TimeSeries {
+func New(names ...string) *TimeSeries { return NewWithCap(0, names...) }
+
+// NewWithCap is New with every column (and the time axis) preallocated to
+// hold rows entries, so appenders with a known row count — fixed-duration
+// simulation runs — never regrow a column mid-loop.
+func NewWithCap(rows int, names ...string) *TimeSeries {
+	if rows < 0 {
+		rows = 0
+	}
 	ts := &TimeSeries{byName: make(map[string]*Series, len(names))}
+	if rows > 0 {
+		ts.TimeSec = make([]float64, 0, rows)
+	}
 	for _, n := range names {
 		s := &Series{Name: n}
+		if rows > 0 {
+			s.Values = make([]float64, 0, rows)
+		}
 		ts.Series = append(ts.Series, s)
 		ts.byName[n] = s
 	}

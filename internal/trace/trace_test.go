@@ -196,3 +196,24 @@ func TestFractionAboveAntitoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNewWithCapPreallocates(t *testing.T) {
+	ts := NewWithCap(100, "a", "b")
+	if cap(ts.TimeSec) != 100 {
+		t.Fatalf("time axis cap = %d want 100", cap(ts.TimeSec))
+	}
+	for _, s := range ts.Series {
+		if cap(s.Values) != 100 {
+			t.Fatalf("series %q cap = %d want 100", s.Name, cap(s.Values))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		ts.Append(float64(i), 1, 2)
+	}
+	if ts.Len() != 100 || ts.Lookup("b").Values[99] != 2 {
+		t.Fatal("append into preallocated series broken")
+	}
+	if got := NewWithCap(-5, "a"); got.Len() != 0 {
+		t.Fatal("negative capacity should behave like New")
+	}
+}

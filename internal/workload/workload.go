@@ -73,11 +73,12 @@ type Workload interface {
 
 // Program is a seeded, phase-structured Workload.
 type Program struct {
-	name    string
-	seed    uint64
-	phases  []Phase
-	offsets []float64 // cumulative start time of each phase
-	total   float64
+	name     string
+	seed     uint64
+	phases   []Phase
+	offsets  []float64 // cumulative start time of each phase
+	burstInv []float64 // 1/BurstPeriod per phase (0 when no burst)
+	total    float64
 }
 
 // New builds a Program from phases. It panics if any phase has a
@@ -89,12 +90,16 @@ func New(name string, seed uint64, phases ...Phase) *Program {
 	}
 	p := &Program{name: name, seed: seed, phases: phases}
 	p.offsets = make([]float64, len(phases))
+	p.burstInv = make([]float64, len(phases))
 	var acc float64
 	for i, ph := range phases {
 		if ph.Dur <= 0 {
 			panic(fmt.Sprintf("workload: phase %q has non-positive duration %v", ph.Name, ph.Dur))
 		}
 		p.offsets[i] = acc
+		if ph.BurstPeriod > 0 {
+			p.burstInv[i] = 1 / ph.BurstPeriod
+		}
 		acc += ph.Dur
 	}
 	p.total = acc
@@ -141,7 +146,11 @@ func (p *Program) At(t float64) Sample {
 
 	cpu := ph.CPU
 	if ph.BurstPeriod > 0 {
-		pos := math.Mod(local, ph.BurstPeriod) / ph.BurstPeriod
+		// Fractional burst position without math.Mod: this runs once per
+		// simulation tick, and Mod's exact range reduction costs more than
+		// the rest of the sampling combined.
+		f := local * p.burstInv[lo]
+		pos := f - math.Floor(f)
 		if pos < ph.BurstDuty {
 			cpu = ph.BurstHigh
 		} else {
@@ -172,6 +181,96 @@ func (p *Program) At(t float64) Sample {
 		ChargeWatts: ph.Charge,
 		Display:     ph.Display,
 		Touch:       ph.Touch,
+	}
+}
+
+// Cursored is an optional fast-path interface: workloads whose sampling
+// can be made cheaper under (mostly) monotone time access return a per-run
+// cursor function. The cursor must produce exactly the samples At would —
+// it may only cache work across calls, never change results — and it must
+// tolerate time moving backwards by falling back to a full lookup. Each
+// cursor is private to one run; workload values themselves stay immutable
+// and shareable across concurrent runs.
+type Cursored interface {
+	Cursor() func(t float64) Sample
+}
+
+// SamplerOf returns the cheapest per-run sampling function for w: the
+// cursor if w provides one, otherwise w.At.
+func SamplerOf(w Workload) func(t float64) Sample {
+	if c, ok := w.(Cursored); ok {
+		return c.Cursor()
+	}
+	return w.At
+}
+
+// Cursor implements Cursored: the returned sampler tracks the active phase
+// and the current jitter slot instead of re-deriving both on every call,
+// which removes the phase search and two hash chains from the simulator's
+// per-tick cost.
+func (p *Program) Cursor() func(t float64) Sample {
+	idx := 0
+	haveSlot := false
+	var slot int64
+	var jCPU, jGPU float64
+	return func(t float64) Sample {
+		if t < 0 || t >= p.total {
+			return Sample{}
+		}
+		if t < p.offsets[idx] { // time went backwards: restart the scan
+			idx = 0
+			haveSlot = false
+		}
+		for idx+1 < len(p.phases) && p.offsets[idx+1] <= t {
+			idx++
+			haveSlot = false
+		}
+		ph := &p.phases[idx]
+		local := t - p.offsets[idx]
+
+		cpu := ph.CPU
+		if ph.BurstPeriod > 0 {
+			f := local * p.burstInv[idx]
+			pos := f - math.Floor(f)
+			if pos < ph.BurstDuty {
+				cpu = ph.BurstHigh
+			} else {
+				cpu = ph.BurstLow
+			}
+		}
+		gpu := ph.GPU
+		if ph.CPUJitter > 0 || ph.GPUJitter > 0 {
+			s := int64(math.Floor(t))
+			if !haveSlot || s != slot {
+				slot, haveSlot = s, true
+				jCPU, jGPU = 0, 0
+				if ph.CPUJitter > 0 {
+					jCPU = ph.CPUJitter * (2*noise(p.seed, s, uint64(idx)*3+1) - 1)
+				}
+				if ph.GPUJitter > 0 {
+					jGPU = ph.GPUJitter * (2*noise(p.seed, s, uint64(idx)*3+2) - 1)
+				}
+			}
+			cpu += jCPU
+			gpu += jGPU
+		}
+		if cpu < 0 {
+			cpu = 0
+		}
+		if gpu < 0 {
+			gpu = 0
+		}
+		if gpu > 1 {
+			gpu = 1
+		}
+		return Sample{
+			CPUFrac:     cpu,
+			GPULoad:     gpu,
+			AuxWatts:    ph.Aux,
+			ChargeWatts: ph.Charge,
+			Display:     ph.Display,
+			Touch:       ph.Touch,
+		}
 	}
 }
 
@@ -220,4 +319,17 @@ func (tr Truncated) At(t float64) Sample {
 		return Sample{}
 	}
 	return tr.W.At(t)
+}
+
+// Cursor implements Cursored, delegating to the wrapped workload's fast
+// path when it has one.
+func (tr Truncated) Cursor() func(t float64) Sample {
+	inner := SamplerOf(tr.W)
+	dur := tr.Dur
+	return func(t float64) Sample {
+		if t < 0 || t >= dur {
+			return Sample{}
+		}
+		return inner(t)
+	}
 }

@@ -324,3 +324,51 @@ func TestSampleSanityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCursorMatchesAt: the Cursored fast path must reproduce At exactly —
+// over every built-in benchmark program, at tick granularity, including
+// phase boundaries and jitter-slot edges.
+func TestCursorMatchesAt(t *testing.T) {
+	progs := append([]*Program{}, Benchmarks(7)...)
+	progs = append(progs, Skype(77), New("edge", 3,
+		Phase{Name: "burst", Dur: 2.5, BurstPeriod: 0.7, BurstDuty: 0.4, BurstHigh: 1.2, BurstLow: 0.1, CPUJitter: 0.2},
+		Phase{Name: "calm", Dur: 1.5, CPU: 0.3, GPU: 0.5, GPUJitter: 0.3},
+	))
+	for _, p := range progs {
+		at := SamplerOf(p)
+		dur := p.Duration()
+		for tm := -0.05; tm <= dur+1; tm += 0.05 {
+			want := p.At(tm)
+			if got := at(tm); got != want {
+				t.Fatalf("%s: cursor(%v) = %+v, At = %+v", p.Name(), tm, got, want)
+			}
+		}
+	}
+}
+
+// TestCursorHandlesBackwardTime: a cursor must survive time moving
+// backwards (a caller restarting a run) by falling back to a fresh lookup.
+func TestCursorHandlesBackwardTime(t *testing.T) {
+	p := Skype(5)
+	c := SamplerOf(p)
+	mid := p.Duration() / 2
+	if got, want := c(mid), p.At(mid); got != want {
+		t.Fatalf("forward: %+v vs %+v", got, want)
+	}
+	if got, want := c(1.0), p.At(1.0); got != want {
+		t.Fatalf("backward: %+v vs %+v", got, want)
+	}
+}
+
+// TestTruncatedCursorClips: the truncating wrapper's cursor idles past the
+// clip exactly like its At.
+func TestTruncatedCursorClips(t *testing.T) {
+	tr := Truncated{W: Skype(5), Dur: 10}
+	c := SamplerOf(tr)
+	if got := c(11); got != (Sample{}) {
+		t.Fatalf("cursor past clip = %+v, want idle", got)
+	}
+	if got, want := c(9.5), tr.At(9.5); got != want {
+		t.Fatalf("cursor(9.5) = %+v, want %+v", got, want)
+	}
+}

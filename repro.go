@@ -166,6 +166,12 @@ func WithSeed(seed int64) SessionOption { return fleet.WithSeed(seed) }
 // row during a run — live streaming instead of the aggregate RunResult.
 func WithObserver(fn func(Sample)) SessionOption { return fleet.WithObserver(fn) }
 
+// WithTraceFree runs the session without retaining Trace/Records while
+// keeping all aggregates identical; pair with WithObserver to stream
+// telemetry instead of buffering it. Fleet jobs opt in per job via
+// Job.TraceFree.
+func WithTraceFree() SessionOption { return fleet.WithTraceFree() }
+
 // NewFleet creates the concurrent batch engine; the zero FleetConfig is
 // valid and uses GOMAXPROCS workers.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
