@@ -1,0 +1,239 @@
+// Command benchdiff compares two `go test -bench` outputs — a committed
+// baseline (BENCH_seed.json) and a fresh run (BENCH_pr.json) — and reports
+// throughput regressions. CI runs it warn-only so noisy runners never
+// block a merge, but the 950 jobs/s fleet-engine gain of the perf PRs
+// cannot regress silently:
+//
+//	benchdiff BENCH_seed.json BENCH_pr.json
+//	benchdiff -threshold 0.3 -strict old.txt new.txt   # exit 1 on regression
+//
+// Only time (ns/op) and rate (.../sec, .../s) metrics are compared; domain
+// metrics (peak-C, error rates) are anchored by tests, not by the diff.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps "benchmark name" → "unit" → value.
+type metrics map[string]map[string]float64
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "relative regression that triggers a warning (0.25 = 25%)")
+	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-strict] SEED PR")
+		os.Exit(2)
+	}
+	seed, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	pr, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regressions := compare(seed, pr, *threshold, os.Stdout)
+	if regressions > 0 {
+		fmt.Printf("%d benchmark metric(s) regressed more than %.0f%% vs the committed baseline\n", regressions, *threshold*100)
+		if *strict {
+			os.Exit(1)
+		}
+		fmt.Println("(warn-only: not failing the build)")
+	} else {
+		fmt.Println("no benchmark regressions beyond the threshold")
+	}
+}
+
+// parseFile reads one `go test -bench` output file into metrics.
+func parseFile(path string) (metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, units := parseLine(sc.Text())
+		if name == "" {
+			continue
+		}
+		if m[name] == nil {
+			m[name] = map[string]float64{}
+		}
+		for u, v := range units {
+			m[name][u] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return m, nil
+}
+
+// parseLine decodes one "BenchmarkX-8  N  1234 ns/op  56 jobs/sec" line.
+// Names are kept verbatim; GOMAXPROCS-suffix differences are resolved at
+// match time (a sub-benchmark like workers-4 is syntactically identical to
+// a -GOMAXPROCS suffix, so stripping eagerly would collapse distinct
+// benchmarks).
+func parseLine(line string) (string, map[string]float64) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil
+	}
+	name := fields[0]
+	units := map[string]float64{}
+	// fields[1] is the iteration count; value/unit pairs follow.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		units[fields[i+1]] = v
+	}
+	if len(units) == 0 {
+		return "", nil
+	}
+	return name, units
+}
+
+// stripCount removes a trailing -N (the shape of a -GOMAXPROCS suffix).
+func stripCount(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// matchNames pairs seed benchmark names with PR names: exact matches
+// first, then — for leftovers — unique matches modulo a trailing
+// -GOMAXPROCS-shaped suffix, so baselines recorded on hosts with a
+// different core count still line up.
+func matchNames(seed, pr metrics) map[string]string {
+	pairs := map[string]string{}
+	usedPR := map[string]bool{}
+	for name := range seed {
+		if pr[name] != nil {
+			pairs[name] = name
+			usedPR[name] = true
+		}
+	}
+	// Stripped forms of the unmatched PR names; nil marks ambiguity.
+	stripped := map[string]*string{}
+	for name := range pr {
+		if usedPR[name] {
+			continue
+		}
+		key := stripCount(name)
+		if _, dup := stripped[key]; dup {
+			stripped[key] = nil
+		} else {
+			n := name
+			stripped[key] = &n
+		}
+	}
+	for name := range seed {
+		if pairs[name] != "" {
+			continue
+		}
+		// PR side carries the suffix (baseline from a 1-core host)...
+		if prName := stripped[name]; prName != nil && !usedPR[*prName] {
+			pairs[name] = *prName
+			usedPR[*prName] = true
+			continue
+		}
+		s := stripCount(name)
+		// ...or the seed side does (baseline from a multicore host)...
+		if s != name && pr[s] != nil && !usedPR[s] {
+			pairs[name] = s
+			usedPR[s] = true
+			continue
+		}
+		// ...or both do, with different core counts.
+		if prName := stripped[s]; s != name && prName != nil && !usedPR[*prName] {
+			pairs[name] = *prName
+			usedPR[*prName] = true
+		}
+	}
+	return pairs
+}
+
+// compare prints per-metric deltas for metrics present in both runs and
+// returns the number of regressions beyond the threshold. Lower-is-better
+// units: ns/op; higher-is-better: anything per second.
+func compare(seed, pr metrics, threshold float64, out io.Writer) int {
+	pairs := matchNames(seed, pr)
+	names := make([]string, 0, len(pairs))
+	for name := range pairs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(out, "no common benchmarks between the two files")
+		return 0
+	}
+	regressions := 0
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for _, name := range names {
+		prUnits := pr[pairs[name]]
+		for _, unit := range sortedUnits(seed[name]) {
+			s := seed[name][unit]
+			p, ok := prUnits[unit]
+			if !ok || s == 0 {
+				continue
+			}
+			lowerBetter, rate := unitDirection(unit)
+			if !lowerBetter && !rate {
+				continue // domain metric: not a perf signal
+			}
+			rel := (p - s) / s
+			bad := (lowerBetter && rel > threshold) || (rate && rel < -threshold)
+			mark := "  "
+			if bad {
+				mark = "✗ "
+				regressions++
+			}
+			fmt.Fprintf(w, "%s%-50s %14s %14.4g → %-14.4g (%+.1f%%)\n", mark, name, unit, s, p, rel*100)
+		}
+	}
+	return regressions
+}
+
+// unitDirection classifies a benchmark unit.
+func unitDirection(unit string) (lowerBetter, rate bool) {
+	switch {
+	case unit == "ns/op" || unit == "B/op" || unit == "allocs/op":
+		return true, false
+	case strings.HasSuffix(unit, "/sec") || strings.HasSuffix(unit, "/s"):
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, units := parseLine("BenchmarkFleetRun/workers-4-16   \t 1\t  1052000000 ns/op\t       950.3 jobs/sec")
+	if name != "BenchmarkFleetRun/workers-4-16" {
+		t.Fatalf("name = %q (names are kept verbatim)", name)
+	}
+	if units["ns/op"] != 1052000000 || units["jobs/sec"] != 950.3 {
+		t.Fatalf("units = %v", units)
+	}
+	if n, _ := parseLine("ok  \trepro\t12.3s"); n != "" {
+		t.Fatalf("non-benchmark line parsed as %q", n)
+	}
+	if n, _ := parseLine("BenchmarkX"); n != "" {
+		t.Fatal("truncated line should not parse")
+	}
+}
+
+// TestMatchNamesSuffixFallback checks both match paths: exact names win
+// (workers-1 vs workers-4 must never collapse), and a -GOMAXPROCS-shaped
+// suffix difference still lines up when unambiguous.
+func TestMatchNamesSuffixFallback(t *testing.T) {
+	seed := metrics{
+		"BenchmarkFleetRun/workers-1": {"ns/op": 1},
+		"BenchmarkFleetRun/workers-4": {"ns/op": 2},
+		"BenchmarkTable1":             {"ns/op": 3},
+	}
+	pr := metrics{
+		"BenchmarkFleetRun/workers-1-16": {"ns/op": 1},
+		"BenchmarkFleetRun/workers-4-16": {"ns/op": 2},
+		"BenchmarkTable1-16":             {"ns/op": 3},
+	}
+	pairs := matchNames(seed, pr)
+	want := map[string]string{
+		"BenchmarkFleetRun/workers-1": "BenchmarkFleetRun/workers-1-16",
+		"BenchmarkFleetRun/workers-4": "BenchmarkFleetRun/workers-4-16",
+		"BenchmarkTable1":             "BenchmarkTable1-16",
+	}
+	for s, p := range want {
+		if pairs[s] != p {
+			t.Fatalf("pairs[%q] = %q want %q (all: %v)", s, pairs[s], p, pairs)
+		}
+	}
+	// Same-host comparison: exact names, no cross-talk.
+	pairs = matchNames(seed, seed)
+	for s := range seed {
+		if pairs[s] != s {
+			t.Fatalf("self-match broke: %v", pairs)
+		}
+	}
+
+	// Both sides suffixed with different core counts must still line up.
+	seed8 := metrics{
+		"BenchmarkFleetRun/workers-1-8": {"ns/op": 1},
+		"BenchmarkTable1-8":             {"ns/op": 3},
+	}
+	pairs = matchNames(seed8, pr)
+	if pairs["BenchmarkFleetRun/workers-1-8"] != "BenchmarkFleetRun/workers-1-16" ||
+		pairs["BenchmarkTable1-8"] != "BenchmarkTable1-16" {
+		t.Fatalf("cross-core-count match failed: %v", pairs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	seed := metrics{
+		"BenchmarkFleetRun/workers-4": {"ns/op": 1e9, "jobs/sec": 950, "peak-C": 38.2},
+		"BenchmarkTable1":             {"ns/op": 82e6},
+		"BenchmarkOnlyInSeed":         {"ns/op": 1},
+	}
+	pr := metrics{
+		"BenchmarkFleetRun/workers-4": {"ns/op": 1.1e9, "jobs/sec": 500, "peak-C": 45.0},
+		"BenchmarkTable1":             {"ns/op": 80e6},
+	}
+	var out strings.Builder
+	n := compare(seed, pr, 0.25, &out)
+	// jobs/sec fell 47% → regression; ns/op rose only 10% → fine; peak-C
+	// is a domain metric and must be ignored entirely.
+	if n != 1 {
+		t.Fatalf("regressions = %d want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "✗ ") || !strings.Contains(out.String(), "jobs/sec") {
+		t.Fatalf("output does not flag the jobs/sec regression:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "peak-C") {
+		t.Fatalf("domain metric compared:\n%s", out.String())
+	}
+
+	// Within threshold: no regressions.
+	pr["BenchmarkFleetRun/workers-4"]["jobs/sec"] = 900
+	out.Reset()
+	if n := compare(seed, pr, 0.25, &out); n != 0 {
+		t.Fatalf("regressions = %d want 0\n%s", n, out.String())
+	}
+}

@@ -8,6 +8,14 @@
 //	ustasim -experiment all                  # everything, paper scale
 //	ustasim -experiment table1 -workers 1    # serial run (same output)
 //
+// Beyond the published artifacts, -scenario runs a declarative sweep file
+// (JSON or YAML; see examples/sweep) and prints its fleet analytics —
+// per-user comfort distributions, ambient × limit violation heat maps and
+// scheme-vs-scheme deltas:
+//
+//	ustasim -scenario examples/sweep/table1.json
+//	ustasim -scenario sweep.yaml -jsonl samples.jsonl -csv out/
+//
 // The -scale flag shortens evaluation runs for quick looks; the training
 // corpus always runs long enough to cover the hot regime (-corpus-sec).
 // Experiments fan out on the fleet engine: -workers bounds the pool, and
@@ -27,15 +35,35 @@ import (
 func main() {
 	var (
 		exp       = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|replicate|all")
+		scenPath  = flag.String("scenario", "", "declarative sweep file (JSON or YAML); overrides -experiment")
+		jsonlPath = flag.String("jsonl", "", "stream every scenario sample to this JSONL file")
 		scale     = flag.Float64("scale", 1.0, "evaluation run duration scale (0,1]")
 		seed      = flag.Int64("seed", 42, "base seed for workload jitter and ML shuffling")
 		corpusSec = flag.Float64("corpus-sec", 0, "truncate each corpus run to this many seconds (0 = full)")
 		mlpEpochs = flag.Int("mlp-epochs", 0, "MLP training epochs for fig3 (0 = default 150)")
-		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs (empty = no dump)")
+		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs or scenario aggregate CSVs (empty = no dump)")
 		repN      = flag.Int("n", 5, "replications for -experiment replicate")
 		workers   = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
 	)
 	flag.Parse()
+
+	if *scenPath != "" {
+		// A scenario file carries its own scale, seeds and corpus policy;
+		// silently ignoring the experiment flags would make the user
+		// believe they applied.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "experiment", "scale", "seed", "corpus-sec", "mlp-epochs", "n":
+				fmt.Fprintf(os.Stderr, "ustasim: -%s is not supported with -scenario (set it in the spec)\n", f.Name)
+				os.Exit(1)
+			}
+		})
+		if err := runScenario(*scenPath, *workers, *jsonlPath, *csvDir, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ustasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+// runScenario executes a declarative sweep file and prints its fleet
+// analytics: per-user comfort distributions always, a violation heat map
+// when the grid has more than one (ambient, limit) cell, and
+// scheme-vs-scheme deltas when the scheme axis has at least two entries.
+// An optional JSONL path streams every telemetry sample; an optional CSV
+// directory receives the aggregate tables.
+func runScenario(path string, workers int, jsonlPath, csvDir string, out io.Writer) error {
+	spec, err := repro.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, spec)
+
+	opts := []repro.ScenarioOption{
+		repro.ScenarioWorkers(workers),
+		repro.ScenarioProgress(func(done, total int) {
+			if done == total || done%50 == 0 {
+				fmt.Fprintf(out, "\r%d/%d jobs", done, total)
+				if done == total {
+					fmt.Fprintln(out)
+				}
+			}
+		}),
+	}
+	var jsonlFile *os.File
+	var jsonlSink repro.Sink
+	if jsonlPath != "" {
+		jsonlFile, err = os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		// Closed explicitly after the run so latched write errors (disk
+		// full, closed pipe) fail the command instead of truncating the
+		// stream silently; the defer only covers early-error returns.
+		defer func() {
+			if jsonlFile != nil {
+				jsonlFile.Close()
+			}
+		}()
+		jsonlSink = repro.NewJSONLSink(jsonlFile)
+		opts = append(opts, repro.ScenarioSink(jsonlSink))
+	}
+
+	res, err := repro.RunScenario(context.Background(), spec, opts...)
+	if err != nil {
+		return err
+	}
+	if jsonlSink != nil {
+		if err := jsonlSink.Close(); err != nil {
+			return fmt.Errorf("jsonl stream %s: %w", jsonlPath, err)
+		}
+		f := jsonlFile
+		jsonlFile = nil
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if err := res.FirstError(); err != nil {
+		return err
+	}
+
+	comfort := res.ComfortByUser()
+	fmt.Fprintln(out, "\nPer-user comfort:")
+	fmt.Fprintln(out, repro.ComfortMarkdown(comfort))
+
+	heat := res.ViolationHeatMap()
+	showHeat := len(heat.Rows)*len(heat.Cols) > 1
+	if showHeat {
+		fmt.Fprintf(out, "Violation heat map (mean %s, %s rows × %s cols):\n", heat.ValueLabel, heat.RowLabel, heat.ColLabel)
+		fmt.Fprintln(out, heat.Markdown())
+	}
+
+	var deltas []repro.SchemeDelta
+	if s := spec.Schemes; len(s) >= 2 {
+		base, alt := schemeLabel(s[0]), schemeLabel(s[1])
+		deltas, err = res.CompareSchemes(base, alt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, repro.DeltasMarkdown(deltas, base, alt))
+	}
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		if err := writeCSV(filepath.Join(csvDir, "comfort.csv"), func(w io.Writer) error {
+			return repro.WriteComfortCSV(w, comfort)
+		}); err != nil {
+			return err
+		}
+		if showHeat {
+			if err := writeCSV(filepath.Join(csvDir, "heatmap.csv"), heat.WriteCSV); err != nil {
+				return err
+			}
+		}
+		if deltas != nil {
+			if err := writeCSV(filepath.Join(csvDir, "deltas.csv"), func(w io.Writer) error {
+				return repro.WriteDeltasCSV(w, deltas)
+			}); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "aggregates written to %s\n", csvDir)
+	}
+	return nil
+}
+
+// schemeLabel mirrors the expansion's scheme naming default.
+func schemeLabel(s repro.ScenarioScheme) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Controller == "" || s.Controller == "none" {
+		return "baseline"
+	}
+	return s.Controller
+}
+
+// writeCSV writes one aggregate table to a file.
+func writeCSV(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

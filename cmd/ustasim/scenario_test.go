@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunScenarioSmoke drives the -scenario path end to end on a tiny
+// sweep: two workloads × two ambients, trace-free, streaming to JSONL and
+// dumping aggregate CSVs.
+func TestRunScenarioSmoke(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "sweep.yaml")
+	spec := `
+version: 1
+name: smoke
+workloads: [skype, game]
+ambients_c: [25, 40]
+duration:
+  sec: 30
+trace_free: true
+`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonl := filepath.Join(dir, "samples.jsonl")
+	csvDir := filepath.Join(dir, "out")
+
+	var out strings.Builder
+	if err := runScenario(specPath, 2, jsonl, csvDir, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"smoke:", "2 workloads", "4/4 jobs", "Per-user comfort", "heat map"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines == 0 {
+		t.Fatal("JSONL stream is empty")
+	}
+	for _, f := range []string{"comfort.csv", "heatmap.csv"} {
+		if _, err := os.Stat(filepath.Join(csvDir, f)); err != nil {
+			t.Fatalf("aggregate %s not written: %v", f, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "deltas.csv")); err == nil {
+		t.Fatal("single-scheme sweep should not write deltas.csv")
+	}
+
+	// Bad spec path and bad spec content both surface as errors.
+	if err := runScenario(filepath.Join(dir, "missing.json"), 1, "", "", &out); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenario(bad, 1, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+		t.Fatalf("invalid spec error = %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Example sweep: run a declarative scenario file through the fleet and
+// reduce it to analytics — the streaming, O(1)-memory way to evaluate the
+// paper's grid (and any grid you can write down) without hand-building
+// jobs in Go.
+//
+//	go run ./examples/sweep                 # the bundled ambient sweep
+//	go run ./examples/sweep table1.json     # the paper's Table 1 grid
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	// Either load a scenario file...
+	if len(os.Args) > 1 {
+		spec, err := repro.LoadScenario(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(spec)
+		return
+	}
+
+	// ...or build the spec in Go: the whole study population on a Skype
+	// call across four ambients under per-user USTA, trace-free with the
+	// telemetry streamed to JSONL instead of buffered.
+	spec := &repro.ScenarioSpec{
+		Version:    1,
+		Name:       "ambient-population-sweep",
+		Workloads:  []string{"skype"},
+		Population: []string{"all"},
+		AmbientsC:  []float64{15, 25, 35, 45},
+		Schemes: []repro.ScenarioScheme{
+			{Name: "baseline"},
+			{Name: "usta", Controller: "usta"},
+		},
+		TraceFree: true,
+	}
+	run(spec)
+}
+
+func run(spec *repro.ScenarioSpec) {
+	out, err := os.Create("samples.jsonl")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	js := repro.NewJSONLSink(out)
+	defer js.Close()
+
+	res, err := repro.RunScenario(context.Background(), spec,
+		repro.ScenarioSink(js),
+		repro.ScenarioProgress(func(done, total int) {
+			fmt.Printf("\r%d/%d jobs", done, total)
+		}),
+	)
+	fmt.Println()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := res.FirstError(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Per-user comfort:")
+	fmt.Println(repro.ComfortMarkdown(res.ComfortByUser()))
+	if h := res.ViolationHeatMap(); len(h.Rows)*len(h.Cols) > 1 {
+		fmt.Println("Violation heat map (ambient × limit, mean time over limit):")
+		fmt.Println(h.Markdown())
+	}
+	if len(spec.Schemes) == 2 {
+		deltas, err := res.CompareSchemes("baseline", "usta")
+		if err == nil {
+			fmt.Println(repro.DeltasMarkdown(deltas, "baseline", "usta"))
+		}
+	}
+	fmt.Println("telemetry streamed to samples.jsonl")
+}

@@ -1,0 +1,258 @@
+package analytics_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sink"
+	"repro/internal/workload"
+)
+
+// paperGrid expands the Table 1 grid (no simulation — the jobs are never
+// run) and synthesizes JobResults from the paper's published cells, so the
+// analytics pipeline can be tested against known-good numbers.
+func paperGrid(t *testing.T) (*scenario.Grid, []fleet.JobResult) {
+	t.Helper()
+	spec := experiments.Table1Spec(experiments.DefaultConfig())
+	grid, err := spec.Expand(scenario.Env{Predictor: &core.Predictor{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]fleet.JobResult, len(grid.Jobs))
+	for i, p := range grid.Points {
+		base, usta, ok := experiments.PaperTable1(p.Workload)
+		if !ok {
+			t.Fatalf("no paper cell for %q", p.Workload)
+		}
+		cell := base
+		if p.Scheme == "usta" {
+			cell = usta
+		}
+		results[i] = fleet.JobResult{
+			Index: i,
+			Name:  p.Name,
+			Result: &device.RunResult{
+				Workload:     p.Workload,
+				MaxScreenC:   cell.MaxScreenC,
+				MaxSkinC:     cell.MaxSkinC,
+				AvgFreqMHz:   cell.AvgFreqGHz * 1000,
+				EnergyJ:      cell.AvgFreqGHz * 100, // stand-in: ∝ frequency
+				WorkDemanded: 100,
+				WorkDone:     90,
+			},
+		}
+	}
+	return grid, results
+}
+
+// TestCompareSchemesPaperTable1Golden feeds the published Table 1 cells
+// through Flatten + CompareSchemes and checks the paper's headline deltas.
+func TestCompareSchemesPaperTable1Golden(t *testing.T) {
+	grid, results := paperGrid(t)
+	stats, err := analytics.Flatten(grid, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := analytics.CompareSchemes(stats, "baseline", "usta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 13 {
+		t.Fatalf("deltas = %d want 13", len(deltas))
+	}
+	byWl := map[string]analytics.Delta{}
+	for _, d := range deltas {
+		byWl[d.Workload] = d
+	}
+	// The paper's headline: USTA cuts the Skype peak by 4.1 °C at a 34 %
+	// lower average frequency (1.09 → 0.72 GHz).
+	skype := byWl["skype"]
+	if math.Abs(skype.DMaxSkinC+4.1) > 1e-9 {
+		t.Fatalf("skype Δpeak = %v want -4.1", skype.DMaxSkinC)
+	}
+	if math.Abs(skype.DAvgFreqMHz+370) > 1e-9 {
+		t.Fatalf("skype Δfreq = %v want -370 MHz", skype.DAvgFreqMHz)
+	}
+	// AnTuTu Tester: 42.8 → 41.1.
+	if d := byWl["antutu-tester"].DMaxSkinC; math.Abs(d+1.7) > 1e-9 {
+		t.Fatalf("antutu-tester Δpeak = %v want -1.7", d)
+	}
+	// Energy delta is relative to baseline: skype −34 % (the stand-in
+	// energy is proportional to frequency).
+	if math.Abs(skype.DEnergyPct-(0.72-1.09)/1.09*100) > 1e-9 {
+		t.Fatalf("skype Δenergy%% = %v", skype.DEnergyPct)
+	}
+	// Rendering must carry every workload.
+	md := analytics.DeltasMarkdown(deltas, "baseline", "usta")
+	var csv strings.Builder
+	if err := analytics.WriteDeltasCSV(&csv, deltas); err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range workload.BenchmarkNames {
+		if !strings.Contains(md, wl) || !strings.Contains(csv.String(), wl) {
+			t.Fatalf("rendered deltas missing %q", wl)
+		}
+	}
+}
+
+// TestPairSchemesErrors covers the join failure modes.
+func TestPairSchemesErrors(t *testing.T) {
+	grid, results := paperGrid(t)
+	stats, err := analytics.Flatten(grid, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analytics.PairSchemes(stats[:1], "baseline", "usta"); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unpaired cell should fail, got %v", err)
+	}
+	dup := append(append([]analytics.JobStat(nil), stats...), stats[0])
+	if _, err := analytics.PairSchemes(dup, "baseline", "usta"); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate run should fail, got %v", err)
+	}
+	if _, err := analytics.Flatten(grid, results[:3]); err == nil {
+		t.Fatal("mismatched result count should fail")
+	}
+}
+
+// TestViolationSinkMatchesTraceAnalytics runs one tiny grid twice — traced
+// and trace-free with a ViolationSink — and checks both paths produce the
+// same violation statistics.
+func TestViolationSinkMatchesTraceAnalytics(t *testing.T) {
+	mk := func(traceFree bool) *scenario.Spec {
+		return &scenario.Spec{
+			Version:   1,
+			Workloads: []string{"skype"},
+			AmbientsC: []float64{25, 40},
+			LimitsC:   []float64{34},
+			Duration:  scenario.Duration{Sec: 90},
+			TraceFree: traceFree,
+		}
+	}
+	run := func(spec *scenario.Spec, s sink.Sink) ([]analytics.JobStat, *scenario.Grid) {
+		grid, err := spec.Expand(scenario.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := fleet.New(fleet.Config{Workers: 2, Sink: s})
+		results := fl.Run(nil, grid.Jobs)
+		if err := fleet.FirstError(results); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := analytics.Flatten(grid, results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, grid
+	}
+
+	traced, _ := run(mk(false), nil)
+	freeSpec := mk(true)
+	grid, err := freeSpec.Expand(scenario.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := analytics.NewViolationSink(grid.Limits())
+	free, _ := run(freeSpec, vs)
+	vs.Apply(free)
+
+	for i := range traced {
+		if !traced[i].HasViolationData() || !free[i].HasViolationData() {
+			t.Fatalf("job %d missing violation data (traced=%v free=%v)",
+				i, traced[i].HasViolationData(), free[i].HasViolationData())
+		}
+		if traced[i].OverFrac != free[i].OverFrac {
+			t.Fatalf("job %d OverFrac: traced %v vs streamed %v", i, traced[i].OverFrac, free[i].OverFrac)
+		}
+		if traced[i].MeanExcessC != free[i].MeanExcessC {
+			t.Fatalf("job %d MeanExcessC: traced %v vs streamed %v", i, traced[i].MeanExcessC, free[i].MeanExcessC)
+		}
+	}
+	// The hot ambient must violate the 34 °C limit more than the mild one.
+	if free[1].OverFrac <= free[0].OverFrac {
+		t.Fatalf("40 °C ambient should violate more than 25 °C: %v vs %v", free[1].OverFrac, free[0].OverFrac)
+	}
+}
+
+// TestComfortByUserAggregates checks per-user aggregation and ordering.
+func TestComfortByUserAggregates(t *testing.T) {
+	stats := []analytics.JobStat{
+		{Point: scenario.Point{UserID: "default", LimitC: 37}, Result: &device.RunResult{EnergyJ: 10, WorkDemanded: 100, WorkDone: 100}, OverFrac: 0.2, MeanExcessC: 1},
+		{Point: scenario.Point{UserID: "b", LimitC: 34}, Result: &device.RunResult{EnergyJ: 20, WorkDemanded: 100, WorkDone: 50}, OverFrac: 0.5, MeanExcessC: 2},
+		{Point: scenario.Point{UserID: "b", LimitC: 34}, Result: &device.RunResult{EnergyJ: 40, WorkDemanded: 100, WorkDone: 100}, OverFrac: math.NaN(), MeanExcessC: math.NaN()},
+		{Point: scenario.Point{UserID: "x"}, Err: context.DeadlineExceeded}, // skipped
+	}
+	rows := analytics.ComfortByUser(stats)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d want 2", len(rows))
+	}
+	if rows[0].UserID != "b" || rows[1].UserID != "default" {
+		t.Fatalf("order = %s,%s want b,default (default last)", rows[0].UserID, rows[1].UserID)
+	}
+	b := rows[0]
+	if b.N != 2 || b.NViolation != 1 {
+		t.Fatalf("b N=%d NViolation=%d want 2/1", b.N, b.NViolation)
+	}
+	if b.MeanOverFrac != 0.5 || b.MaxOverFrac != 0.5 || b.MeanExcessC != 2 {
+		t.Fatalf("b violation stats wrong: %+v", b)
+	}
+	if b.MeanEnergyJ != 30 || b.MeanSlowdown != 0.25 {
+		t.Fatalf("b means wrong: %+v", b)
+	}
+	if b.LimitC != 34 {
+		t.Fatalf("b limit = %v want the user's own 34", b.LimitC)
+	}
+	md := analytics.ComfortMarkdown(rows)
+	if !strings.Contains(md, "| b |") || !strings.Contains(md, "| default |") {
+		t.Fatalf("markdown missing users:\n%s", md)
+	}
+	var csv strings.Builder
+	if err := analytics.WriteComfortCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "user,limit_c,jobs,") {
+		t.Fatalf("csv header wrong:\n%s", csv.String())
+	}
+}
+
+// TestPivotHeatMap checks bucketing, means, empty cells and rendering.
+func TestPivotHeatMap(t *testing.T) {
+	stats := []analytics.JobStat{
+		{Point: scenario.Point{AmbientC: 15, LimitC: 35}, OverFrac: 0.2},
+		{Point: scenario.Point{AmbientC: 15, LimitC: 35}, OverFrac: 0.4},
+		{Point: scenario.Point{AmbientC: 35, LimitC: 35}, OverFrac: 0.8},
+		{Point: scenario.Point{AmbientC: 35, LimitC: 39}, OverFrac: 0.1},
+	}
+	h := analytics.ViolationHeatMap(stats)
+	if len(h.Rows) != 2 || len(h.Cols) != 2 {
+		t.Fatalf("dims %dx%d want 2x2", len(h.Rows), len(h.Cols))
+	}
+	if math.Abs(h.Cells[0][0]-0.3) > 1e-12 || h.Counts[0][0] != 2 {
+		t.Fatalf("cell (15,35) = %v/%d want 0.3/2", h.Cells[0][0], h.Counts[0][0])
+	}
+	if !math.IsNaN(h.Cells[0][1]) || h.Counts[0][1] != 0 {
+		t.Fatalf("cell (15,39) should be empty, got %v/%d", h.Cells[0][1], h.Counts[0][1])
+	}
+	md := h.Markdown()
+	if !strings.Contains(md, "—") || !strings.Contains(md, "30.0%") {
+		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+	var csv strings.Builder
+	if err := h.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv rows = %d want 3:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasSuffix(lines[1], "0.3000,") {
+		t.Fatalf("empty cell should render empty: %q", lines[1])
+	}
+}

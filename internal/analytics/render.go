@@ -1,0 +1,139 @@
+package analytics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// fmtCell renders a float for tables, writing empty cells for NaN.
+func fmtCell(v float64, format string) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// WriteComfortCSV renders per-user comfort rows as CSV.
+func WriteComfortCSV(w io.Writer, rows []UserComfort) error {
+	if _, err := fmt.Fprintln(w, "user,limit_c,jobs,mean_over_frac,max_over_frac,mean_excess_c,mean_slowdown,mean_energy_j"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		over, max, exc := "", "", ""
+		if r.NViolation > 0 {
+			over = fmt.Sprintf("%.4f", r.MeanOverFrac)
+			max = fmt.Sprintf("%.4f", r.MaxOverFrac)
+			exc = fmt.Sprintf("%.3f", r.MeanExcessC)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%.1f,%d,%s,%s,%s,%.4f,%.1f\n",
+			r.UserID, r.LimitC, r.N, over, max, exc, r.MeanSlowdown, r.MeanEnergyJ); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComfortMarkdown renders per-user comfort rows as a markdown table.
+func ComfortMarkdown(rows []UserComfort) string {
+	var b strings.Builder
+	b.WriteString("| user | limit °C | jobs | mean over | max over | mean excess °C | mean slowdown | mean energy J |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		over, max, exc := "—", "—", "—"
+		if r.NViolation > 0 {
+			over = fmt.Sprintf("%.1f%%", r.MeanOverFrac*100)
+			max = fmt.Sprintf("%.1f%%", r.MaxOverFrac*100)
+			exc = fmt.Sprintf("%.2f", r.MeanExcessC)
+		}
+		fmt.Fprintf(&b, "| %s | %.1f | %d | %s | %s | %s | %.1f%% | %.0f |\n",
+			r.UserID, r.LimitC, r.N, over, max, exc, r.MeanSlowdown*100, r.MeanEnergyJ)
+	}
+	return b.String()
+}
+
+// WriteCSV renders the heat map as CSV: one header row of column values,
+// one row per row value. Empty buckets render as empty cells.
+func (h *HeatMap) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, len(h.Cols)+1)
+	cols = append(cols, h.RowLabel+`\`+h.ColLabel)
+	for _, c := range h.Cols {
+		cols = append(cols, fmt.Sprintf("%g", c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for ri, r := range h.Rows {
+		row := make([]string, 0, len(h.Cols)+1)
+		row = append(row, fmt.Sprintf("%g", r))
+		for ci := range h.Cols {
+			row = append(row, fmtCell(h.Cells[ri][ci], "%.4f"))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the heat map as a markdown table with percentage cells
+// (the violation surface reads naturally as % of time over the limit).
+func (h *HeatMap) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| %s \\ %s |", h.RowLabel, h.ColLabel)
+	for _, c := range h.Cols {
+		fmt.Fprintf(&b, " %g |", c)
+	}
+	b.WriteString("\n|---|")
+	for range h.Cols {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for ri, r := range h.Rows {
+		fmt.Fprintf(&b, "| %g |", r)
+		for ci := range h.Cols {
+			v := h.Cells[ri][ci]
+			if math.IsNaN(v) {
+				b.WriteString(" — |")
+			} else {
+				fmt.Fprintf(&b, " %.1f%% |", v*100)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteDeltasCSV renders scheme-vs-scheme deltas as CSV.
+func WriteDeltasCSV(w io.Writer, deltas []Delta) error {
+	if _, err := fmt.Fprintln(w, "workload,user,ambient_c,limit_c,d_max_skin_c,d_max_screen_c,d_avg_freq_mhz,d_energy_pct,d_slowdown,d_over_frac"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%.4f,%.4f,%.2f,%.2f,%.4f,%s\n",
+			d.Workload, d.UserID, d.AmbientC, d.LimitC,
+			d.DMaxSkinC, d.DMaxScreenC, d.DAvgFreqMHz, d.DEnergyPct, d.DSlowdown,
+			fmtCell(d.DOverFrac, "%.4f")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeltasMarkdown renders scheme-vs-scheme deltas as a markdown table.
+func DeltasMarkdown(deltas []Delta, base, alt string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s − %s per grid cell (negative peak/energy deltas favor %s):\n\n", alt, base, alt)
+	b.WriteString("| workload | user | amb °C | Δ peak skin °C | Δ avg MHz | Δ energy % | Δ slowdown | Δ time-over |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, d := range deltas {
+		over := "—"
+		if !math.IsNaN(d.DOverFrac) {
+			over = fmt.Sprintf("%+.1f%%", d.DOverFrac*100)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %g | %+.2f | %+.0f | %+.1f | %+.1f%% | %s |\n",
+			d.Workload, d.UserID, d.AmbientC, d.DMaxSkinC, d.DAvgFreqMHz, d.DEnergyPct, d.DSlowdown*100, over)
+	}
+	return b.String()
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fleet"
+	"repro/internal/scenario"
 	"repro/internal/sensors"
 	"repro/internal/users"
 	"repro/internal/workload"
@@ -136,6 +137,14 @@ func (pl *Pipeline) fleet() *fleet.Fleet {
 func (pl *Pipeline) ustaFactory(limitC float64) func(users.User) device.Controller {
 	pred := pl.Predictor()
 	return func(users.User) device.Controller { return core.NewUSTA(pred, limitC) }
+}
+
+// scenarioEnv is the expansion environment for the pipeline's code-built
+// scenario grids: its device configuration and shared predictor. Like
+// ustaFactory, it builds the predictor eagerly — the lazy build is not
+// concurrency-safe under fleet fan-out.
+func scenarioEnv(pl *Pipeline) scenario.Env {
+	return scenario.Env{Device: &pl.Cfg.Device, Predictor: pl.Predictor()}
 }
 
 // mustRun executes the jobs on the pipeline's fleet and panics on the first

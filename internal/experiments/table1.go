@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/fleet"
+	"repro/internal/analytics"
+	"repro/internal/scenario"
 	"repro/internal/users"
-	"repro/internal/workload"
 )
 
 // Table1Cell is one scheme's outcome on one workload.
@@ -58,38 +58,53 @@ func PaperTable1(bench string) (baseline, usta Table1Cell, ok bool) {
 	return v[0], v[1], ok
 }
 
-// RunTable1 executes all 26 runs (13 workloads × 2 schemes) as one fleet
-// batch. Jobs 2i / 2i+1 are workload i's baseline and USTA runs, with the
-// pre-fleet seed offsets pinned so the table matches the sequential
-// implementation exactly.
-func RunTable1(pl *Pipeline) *Table1Result {
-	benches := workload.Benchmarks(uint64(pl.Cfg.Seed) + 300)
-	usta := pl.ustaFactory(users.DefaultLimitC)
-	jobs := make([]fleet.Job, 0, 2*len(benches))
-	for i, w := range benches {
-		dur := pl.Cfg.scaled(w.Duration())
-		jobs = append(jobs, fleet.Job{
-			Name:     w.Name() + "/baseline",
-			Workload: w,
-			Device:   &pl.Cfg.Device,
-			DurSec:   dur,
-			Seed:     pl.Cfg.Device.Seed + int64(300+2*i),
-		}, fleet.Job{
-			Name:       w.Name() + "/usta",
-			Workload:   w,
-			Device:     &pl.Cfg.Device,
-			Controller: usta,
-			DurSec:     dur,
-			Seed:       pl.Cfg.Device.Seed + int64(301+2*i),
-		})
+// Table1Spec is the paper's Table 1 grid as a scenario: all thirteen
+// workloads × {baseline, USTA@37 °C}, seeds pinned to the pre-scenario
+// runner's offsets (workload construction at Seed+300, indexed per-job
+// device seeds from base 300 with the scheme axis innermost), so the
+// declarative path reproduces the hand-built one bit for bit.
+func Table1Spec(cfg Config) *scenario.Spec {
+	return &scenario.Spec{
+		Version:   scenario.Version,
+		Name:      "table1",
+		Workloads: []string{"all"},
+		Schemes: []scenario.Scheme{
+			{Name: "baseline"},
+			{Name: "usta", Controller: "usta", LimitC: users.DefaultLimitC},
+		},
+		Duration: scenario.Duration{Scale: cfg.Scale},
+		Seeds: scenario.Seeds{
+			Policy:   "indexed",
+			Base:     300,
+			Workload: uint64(cfg.Seed) + 300,
+		},
 	}
-	results := pl.mustRun(jobs)
+}
+
+// RunTable1 executes all 26 runs (13 workloads × 2 schemes) as one fleet
+// batch, expanded from the declarative Table1Spec grid. The spec pins the
+// seeds the pre-scenario implementation used, so the table is unchanged.
+func RunTable1(pl *Pipeline) *Table1Result {
+	grid, err := Table1Spec(pl.Cfg).Expand(scenarioEnv(pl))
+	if err != nil {
+		// The spec is code-built and the pipeline config is validated by
+		// the experiment entry points; failure is a programming error.
+		panic(err)
+	}
+	stats, err := analytics.Flatten(grid, pl.mustRun(grid.Jobs))
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := analytics.PairSchemes(stats, "baseline", "usta")
+	if err != nil {
+		panic(err)
+	}
 
 	out := &Table1Result{LimitC: users.DefaultLimitC}
-	for i, w := range benches {
-		base, usta := results[2*i].Result, results[2*i+1].Result
+	for _, p := range pairs {
+		base, usta := p.Base.Result, p.Alt.Result
 		row := Table1Row{
-			Bench: w.Name(),
+			Bench: p.Workload,
 			Baseline: Table1Cell{
 				MaxScreenC: base.MaxScreenC,
 				MaxSkinC:   base.MaxSkinC,
@@ -101,7 +116,7 @@ func RunTable1(pl *Pipeline) *Table1Result {
 				AvgFreqGHz: usta.AvgFreqMHz / 1000,
 			},
 		}
-		row.PaperBaseline, row.PaperUSTA, _ = PaperTable1(w.Name())
+		row.PaperBaseline, row.PaperUSTA, _ = PaperTable1(p.Workload)
 		out.Rows = append(out.Rows, row)
 	}
 	return out

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// TestTable1SpecMatchesHandBuiltJobs pins the scenario migration: the
+// declarative Table1Spec grid must reproduce the pre-scenario hand-built
+// job list — same workloads, durations, seeds and schemes — and therefore
+// byte-identical table cells. The hand-built construction below is the
+// legacy RunTable1 implementation, kept as the reference.
+func TestTable1SpecMatchesHandBuiltJobs(t *testing.T) {
+	pl := pipeline(t)
+
+	benches := workload.Benchmarks(uint64(pl.Cfg.Seed) + 300)
+	usta := pl.ustaFactory(users.DefaultLimitC)
+	legacy := make([]fleet.Job, 0, 2*len(benches))
+	for i, w := range benches {
+		dur := pl.Cfg.scaled(w.Duration())
+		legacy = append(legacy, fleet.Job{
+			Name:     w.Name() + "/baseline",
+			Workload: w,
+			Device:   &pl.Cfg.Device,
+			DurSec:   dur,
+			Seed:     pl.Cfg.Device.Seed + int64(300+2*i),
+		}, fleet.Job{
+			Name:       w.Name() + "/usta",
+			Workload:   w,
+			Device:     &pl.Cfg.Device,
+			Controller: usta,
+			DurSec:     dur,
+			Seed:       pl.Cfg.Device.Seed + int64(301+2*i),
+		})
+	}
+	legacyResults := pl.mustRun(legacy)
+
+	res := RunTable1(pl)
+	if len(res.Rows) != len(benches) {
+		t.Fatalf("rows = %d want %d", len(res.Rows), len(benches))
+	}
+	for i, w := range benches {
+		row := res.Rows[i]
+		if row.Bench != w.Name() {
+			t.Fatalf("row %d = %q want %q (grid order changed)", i, row.Bench, w.Name())
+		}
+		base, usta := legacyResults[2*i].Result, legacyResults[2*i+1].Result
+		if row.Baseline.MaxSkinC != base.MaxSkinC ||
+			row.Baseline.MaxScreenC != base.MaxScreenC ||
+			row.Baseline.AvgFreqGHz != base.AvgFreqMHz/1000 {
+			t.Fatalf("%s baseline cell diverged from the hand-built path:\n got %+v\nwant {%.6f %.6f %.6f}",
+				row.Bench, row.Baseline, base.MaxScreenC, base.MaxSkinC, base.AvgFreqMHz/1000)
+		}
+		if row.USTA.MaxSkinC != usta.MaxSkinC ||
+			row.USTA.MaxScreenC != usta.MaxScreenC ||
+			row.USTA.AvgFreqGHz != usta.AvgFreqMHz/1000 {
+			t.Fatalf("%s usta cell diverged from the hand-built path:\n got %+v\nwant {%.6f %.6f %.6f}",
+				row.Bench, row.USTA, usta.MaxScreenC, usta.MaxSkinC, usta.AvgFreqMHz/1000)
+		}
+	}
+
+	// The grid's own metadata must agree with the legacy job list too.
+	grid, err := Table1Spec(pl.Cfg).Expand(scenarioEnv(pl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Jobs) != len(legacy) {
+		t.Fatalf("grid jobs = %d want %d", len(grid.Jobs), len(legacy))
+	}
+	for i := range legacy {
+		g, l := grid.Jobs[i], legacy[i]
+		if g.Name != l.Name || g.DurSec != l.DurSec || g.Seed != l.Seed {
+			t.Fatalf("job %d: grid (name=%q dur=%g seed=%d) vs legacy (name=%q dur=%g seed=%d)",
+				i, g.Name, g.DurSec, g.Seed, l.Name, l.DurSec, l.Seed)
+		}
+		if g.Workload.Name() != l.Workload.Name() {
+			t.Fatalf("job %d workload %q vs %q", i, g.Workload.Name(), l.Workload.Name())
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/governor"
+	"repro/internal/sink"
 	"repro/internal/users"
 	"repro/internal/workload"
 )
@@ -25,6 +26,14 @@ type Config struct {
 	// OnProgress, when set, is called after each job completes with the
 	// number of finished jobs and the batch size. Calls are serialized.
 	OnProgress func(done, total int)
+	// Sink, when set, receives every telemetry sample of every job, tagged
+	// with the job's index (sink.JobID matches JobResult.Index). Accept is
+	// called concurrently from worker goroutines; the built-ins in package
+	// sink synchronize internally. Combined with Job.TraceFree this is the
+	// O(1)-memory path for large sweeps: samples stream out as they are
+	// produced and no per-job Trace is retained. The fleet never closes the
+	// sink — the caller owns its lifecycle.
+	Sink sink.Sink
 }
 
 // Job is one unit of fleet work: a user running a workload on a device
@@ -178,6 +187,10 @@ func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
 		if c := job.Controller(job.User); c != nil {
 			phone.SetController(c)
 		}
+	}
+	if f.cfg.Sink != nil {
+		id := sink.JobID(i)
+		phone.SetObserver(func(s device.Sample) { f.cfg.Sink.Accept(id, s) })
 	}
 	if job.TraceFree {
 		phone.SetTraceFree(true)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/governor"
+	"repro/internal/sink"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,7 @@ type sessionConfig struct {
 	govSet    bool
 	ctrl      device.Controller
 	observer  func(device.Sample)
+	sink      sink.Sink
 	ambient   *float64
 	seed      *int64
 	traceFree bool
@@ -116,7 +118,13 @@ func WithSeed(seed int64) Option {
 
 // WithObserver installs a per-sample telemetry hook fired once per trace
 // row during Run, so callers can stream live telemetry instead of waiting
-// for the aggregate RunResult.
+// for the aggregate RunResult. This is the low-level escape hatch; prefer
+// WithSink for anything that writes, buffers, or fans out.
+//
+// The observer is independent of trace retention: under WithTraceFree it
+// still fires for every sample the trace would have recorded (one per
+// RecordPeriodSec), so streaming consumers lose nothing when the in-memory
+// Trace is turned off.
 func WithObserver(fn func(device.Sample)) Option {
 	return func(sc *sessionConfig) error {
 		if fn == nil {
@@ -127,14 +135,32 @@ func WithObserver(fn func(device.Sample)) Option {
 	}
 }
 
+// WithSink streams the session's telemetry into a sink (job tag 0).
+// Composable with WithObserver: the observer fires first, then the sink.
+// Like WithObserver, the sink receives every sample even under
+// WithTraceFree. The session does not close the sink; the caller does.
+func WithSink(s sink.Sink) Option {
+	return func(sc *sessionConfig) error {
+		if s == nil {
+			return errors.New("fleet: WithSink(nil)")
+		}
+		if sc.sink != nil {
+			return errors.New("fleet: sink configured twice")
+		}
+		sc.sink = s
+		return nil
+	}
+}
+
 // WithTraceFree runs the session trace-free: RunResult.Trace and
 // RunResult.Records stay nil while all aggregates (peak temperatures,
 // averages, energy, work) are computed exactly as in a traced run.
-// Observers still fire every record period, so telemetry can be streamed
-// instead of buffered. Use for long or many runs where the per-second
-// history would dominate memory. Controllers that consume the full
-// Records history (the recalibrating wrapper) need traced runs; see
-// device.Phone.SetTraceFree.
+// WithObserver hooks and WithSink sinks still receive every sample, one
+// per RecordPeriodSec — exactly the rows the trace would have held — so
+// telemetry can be streamed instead of buffered. Use for long or many runs
+// where the per-second history would dominate memory. Controllers that
+// consume the full Records history (the recalibrating wrapper) need traced
+// runs; see device.Phone.SetTraceFree.
 func WithTraceFree() Option {
 	return func(sc *sessionConfig) error {
 		sc.traceFree = true
@@ -188,8 +214,18 @@ func NewSession(opts ...Option) (*Session, error) {
 	if sc.ctrl != nil {
 		phone.SetController(sc.ctrl)
 	}
-	if sc.observer != nil {
+	switch {
+	case sc.observer != nil && sc.sink != nil:
+		obs, sk := sc.observer, sc.sink
+		phone.SetObserver(func(s device.Sample) {
+			obs(s)
+			sk.Accept(0, s)
+		})
+	case sc.observer != nil:
 		phone.SetObserver(sc.observer)
+	case sc.sink != nil:
+		sk := sc.sink
+		phone.SetObserver(func(s device.Sample) { sk.Accept(0, s) })
 	}
 	if sc.traceFree {
 		phone.SetTraceFree(true)

@@ -1,0 +1,290 @@
+package scenario
+
+// A minimal YAML-subset reader, so scenario files can be written in the
+// sweep-friendly YAML style without pulling a YAML dependency into the
+// module. The subset covers what the schema needs and nothing more:
+//
+//   - nested mappings by indentation (spaces only)
+//   - block sequences ("- item": scalars or nested mappings)
+//   - flow sequences of scalars ("[15, 25, 35]")
+//   - scalars: bool, int, float, null, single/double-quoted and bare strings
+//   - comments (#) and blank lines
+//
+// Anchors, aliases, multi-document streams, flow mappings, multi-line
+// strings and tabs are out of scope and rejected (or treated as plain
+// text where harmless). Parse routes the result through the same strict
+// JSON decoder as native JSON input, so both formats share one schema.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlLine is one significant (non-blank, non-comment) line.
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML decodes the YAML subset into the generic map/slice/scalar
+// shapes encoding/json produces.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		lines = append(lines, yamlLine{
+			num:    i + 1,
+			indent: len(text) - len(strings.TrimLeft(text, " ")),
+			text:   trimmed,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, rest, err := parseBlock(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("yaml line %d: unexpected dedent", rest[0].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble && (i == 0 || s[i-1] == ' ') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses one mapping or sequence at the given indent, returning
+// the remaining lines (the first line at a shallower indent).
+func parseBlock(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	if len(lines) == 0 || lines[0].indent < indent {
+		return nil, lines, fmt.Errorf("yaml: empty block")
+	}
+	if strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-" {
+		return parseSequence(lines, indent)
+	}
+	return parseMapping(lines, indent)
+}
+
+// parseMapping parses "key: value" lines at exactly indent.
+func parseMapping(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	m := map[string]any{}
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml line %d: unexpected indent", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, nil, fmt.Errorf("yaml line %d: sequence item inside mapping", ln.num)
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok {
+			return nil, nil, fmt.Errorf("yaml line %d: expected \"key: value\"", ln.num)
+		}
+		if _, dup := m[key]; dup {
+			return nil, nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Block value: child lines indented deeper (absent child = null).
+		if len(lines) == 0 || lines[0].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, remaining, err := parseBlock(lines, lines[0].indent)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = v
+		lines = remaining
+	}
+	return m, lines, nil
+}
+
+// parseSequence parses "- item" lines at exactly indent.
+func parseSequence(lines []yamlLine, indent int) (any, []yamlLine, error) {
+	var seq []any
+	for len(lines) > 0 {
+		ln := lines[0]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, nil, fmt.Errorf("yaml line %d: unexpected indent", ln.num)
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		lines = lines[1:]
+		if item == "" {
+			// Nested block item.
+			if len(lines) == 0 || lines[0].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, remaining, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			seq = append(seq, v)
+			lines = remaining
+			continue
+		}
+		if key, rest, ok := splitKey(item); ok && !looksScalarOnly(item) {
+			// "- key: value" starts an inline mapping; its remaining keys
+			// sit indented under the dash.
+			m := map[string]any{}
+			if rest != "" {
+				v, err := parseScalar(rest, ln.num)
+				if err != nil {
+					return nil, nil, err
+				}
+				m[key] = v
+			} else {
+				m[key] = nil
+			}
+			if len(lines) > 0 && lines[0].indent > indent {
+				v, remaining, err := parseMapping(lines, lines[0].indent)
+				if err != nil {
+					return nil, nil, err
+				}
+				for k2, v2 := range v.(map[string]any) {
+					if _, dup := m[k2]; dup {
+						return nil, nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.num, k2)
+					}
+					m[k2] = v2
+				}
+				lines = remaining
+			}
+			seq = append(seq, m)
+			continue
+		}
+		v, err := parseScalar(item, ln.num)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, lines, nil
+}
+
+// splitKey splits "key: rest" (the colon must be followed by a space or
+// end the line) respecting quoted keys.
+func splitKey(s string) (key, rest string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			key = strings.TrimSpace(s[:i])
+			key = unquote(key)
+			if key == "" {
+				return "", "", false
+			}
+			return key, strings.TrimSpace(s[i+1:]), true
+		}
+		if s[i] == '"' || s[i] == '\'' {
+			// Skip the quoted region.
+			q := s[i]
+			j := i + 1
+			for j < len(s) && s[j] != q {
+				j++
+			}
+			i = j
+		}
+	}
+	return "", "", false
+}
+
+// looksScalarOnly reports whether the "key: value" shaped text is actually
+// a plain scalar (a quoted string or a flow sequence).
+func looksScalarOnly(s string) bool {
+	return len(s) > 0 && (s[0] == '"' || s[0] == '\'' || s[0] == '[')
+}
+
+// parseScalar decodes one scalar (or flow sequence) value.
+func parseScalar(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence", line)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var seq []any
+		for _, part := range strings.Split(inner, ",") {
+			v, err := parseScalar(strings.TrimSpace(part), line)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("yaml line %d: unterminated string", line)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// unquote strips one level of matched quotes.
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

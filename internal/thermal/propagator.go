@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/mat"
@@ -34,27 +35,83 @@ type propagator struct {
 	vFixed []float64 // W · (per-node Σ g_b·T_b over fixed-temperature baths)
 }
 
-// sharedProps is the process-wide propagator cache. Fleet runs build one
-// Network per job from identical configurations; sharing the finished
-// (immutable) propagators across networks means each distinct
-// (configuration, dt) pair pays the matrix exponential exactly once per
-// process instead of once per job. Entries are read-only after insertion,
-// so lookups are safe from any worker goroutine.
-var sharedProps struct {
-	sync.RWMutex
-	m map[propKey]*propagator
-}
-
 type propKey struct {
 	sig uint64
 	dt  float64
 }
 
-// maxSharedPropagators bounds the shared cache; on overflow the cache is
-// reset, which only costs rebuilds. Real fleets cycle through a handful of
-// configurations; randomized-dt test workloads are what the bound guards
-// against.
+// maxSharedPropagators bounds the shared cache with LRU eviction. Real
+// fleets cycle through a handful of configurations per device; the bound
+// guards scenario sweeps over many devices/ambients and randomized-dt test
+// workloads, which would otherwise grow the cache for the life of the
+// process. Each 8-node propagator is ~1 KiB, so the cap is ~0.5 MiB.
 const maxSharedPropagators = 512
+
+// propLRU is a size-capped LRU map of finished propagators. Entries are
+// immutable after insertion; the lock only guards the map and recency
+// list. Shared-cache traffic is rare — each Network front-runs it with its
+// own MRU slice — so a single mutex (recency updates happen on reads too)
+// costs nothing measurable.
+type propLRU struct {
+	mu    sync.Mutex
+	max   int
+	m     map[propKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+// propEntry is one LRU element payload.
+type propEntry struct {
+	key propKey
+	p   *propagator
+}
+
+func newPropLRU(max int) *propLRU {
+	return &propLRU{max: max, m: make(map[propKey]*list.Element), order: list.New()}
+}
+
+// get returns the cached propagator and refreshes its recency, or nil.
+func (c *propLRU) get(key propKey) *propagator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[key]
+	if el == nil {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(propEntry).p
+}
+
+// put inserts (or refreshes) a propagator, evicting the least recently
+// used entry beyond the cap.
+func (c *propLRU) put(key propKey, p *propagator) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		c.order.MoveToFront(el)
+		el.Value = propEntry{key: key, p: p}
+		return
+	}
+	c.m[key] = c.order.PushFront(propEntry{key: key, p: p})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(propEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *propLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// sharedProps is the process-wide propagator cache. Fleet runs build one
+// Network per job from identical configurations; sharing the finished
+// (immutable) propagators across networks means each distinct
+// (configuration, dt) pair pays the matrix exponential exactly once per
+// process instead of once per job.
+var sharedProps = newPropLRU(maxSharedPropagators)
 
 // propagatorFor returns the cached propagator for the current configuration
 // fingerprint and step size, building (and caching) it on a miss. The hit
@@ -72,19 +129,12 @@ func (n *Network) propagatorFor(dt float64) *propagator {
 		}
 	}
 	key := propKey{sig: n.sig, dt: dt}
-	sharedProps.RLock()
-	p := sharedProps.m[key]
-	sharedProps.RUnlock()
+	p := sharedProps.get(key)
 	if p == nil {
 		if p = n.buildPropagator(dt); p == nil {
 			return nil
 		}
-		sharedProps.Lock()
-		if sharedProps.m == nil || len(sharedProps.m) >= maxSharedPropagators {
-			sharedProps.m = make(map[propKey]*propagator)
-		}
-		sharedProps.m[key] = p
-		sharedProps.Unlock()
+		sharedProps.put(key, p)
 	}
 	if len(n.props) < maxCachedPropagators {
 		n.props = append(n.props, nil)

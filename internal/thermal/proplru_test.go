@@ -1,0 +1,79 @@
+package thermal
+
+import "testing"
+
+// TestPropLRUBoundAndEviction unit-tests the shared-cache LRU: the bound
+// holds, eviction is least-recently-used, and recency refreshes on get.
+func TestPropLRUBoundAndEviction(t *testing.T) {
+	c := newPropLRU(3)
+	mk := func(sig uint64) (propKey, *propagator) {
+		return propKey{sig: sig, dt: 0.05}, &propagator{sig: sig, dt: 0.05}
+	}
+	keys := make([]propKey, 5)
+	props := make([]*propagator, 5)
+	for i := range keys {
+		keys[i], props[i] = mk(uint64(i))
+	}
+	c.put(keys[0], props[0])
+	c.put(keys[1], props[1])
+	c.put(keys[2], props[2])
+	if c.len() != 3 {
+		t.Fatalf("len = %d want 3", c.len())
+	}
+	// Touch 0 so 1 becomes the LRU, then overflow.
+	if c.get(keys[0]) != props[0] {
+		t.Fatal("get missed a cached entry")
+	}
+	c.put(keys[3], props[3])
+	if c.len() != 3 {
+		t.Fatalf("len = %d want 3 after eviction", c.len())
+	}
+	if c.get(keys[1]) != nil {
+		t.Fatal("LRU entry 1 should have been evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if c.get(keys[i]) != props[i] {
+			t.Fatalf("entry %d lost", i)
+		}
+	}
+	// Re-put of an existing key refreshes, never grows.
+	c.put(keys[3], props[3])
+	if c.len() != 3 {
+		t.Fatalf("len = %d want 3 after refresh", c.len())
+	}
+	// The verification loop touched 0, 2, 3 in that order, so 0 is now the
+	// LRU and the next overflow must evict it.
+	c.put(keys[4], props[4])
+	if c.get(keys[0]) != nil {
+		t.Fatal("entry 0 should have been evicted as the LRU")
+	}
+	for _, i := range []int{2, 3, 4} {
+		if c.get(keys[i]) != props[i] {
+			t.Fatalf("entry %d lost after eviction", i)
+		}
+	}
+}
+
+// TestSharedPropagatorCacheStaysBounded sweeps a network through far more
+// (configuration, dt) pairs than the cap and checks the process-wide cache
+// never exceeds it — the leak a many-device scenario sweep would otherwise
+// hit — while the network keeps integrating correctly.
+func TestSharedPropagatorCacheStaysBounded(t *testing.T) {
+	cfg := DefaultPhoneConfig()
+	for i := 0; i < maxSharedPropagators+64; i++ {
+		net, nodes := NewPhone(cfg)
+		net.SetPower(nodes.Die, 2.0)
+		// A distinct dt per iteration forces a fresh cache entry.
+		dt := 0.05 + float64(i)*1e-6
+		before := net.Temp(nodes.Die)
+		for s := 0; s < 3; s++ {
+			net.Step(dt)
+		}
+		if !(net.Temp(nodes.Die) > before) {
+			t.Fatalf("iteration %d: die did not heat under power", i)
+		}
+	}
+	if n := sharedProps.len(); n > maxSharedPropagators {
+		t.Fatalf("shared cache grew to %d entries, cap is %d", n, maxSharedPropagators)
+	}
+}

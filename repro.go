@@ -53,8 +53,10 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 
+	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiments"
@@ -65,7 +67,9 @@ import (
 	"repro/internal/ml/m5p"
 	"repro/internal/ml/mlp"
 	"repro/internal/ml/tree"
+	"repro/internal/scenario"
 	"repro/internal/sensors"
+	"repro/internal/sink"
 	"repro/internal/users"
 	"repro/internal/workload"
 )
@@ -126,6 +130,37 @@ type (
 	ExperimentConfig = experiments.Config
 	// Pipeline caches the corpus and predictor across experiments.
 	Pipeline = experiments.Pipeline
+
+	// ScenarioSpec is a declarative sweep: a versioned population ×
+	// workloads × ambients × scheme grid that expands deterministically
+	// into fleet jobs. Build one in Go or load it with LoadScenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioScheme is one governor/controller/limit point of a spec.
+	ScenarioScheme = scenario.Scheme
+	// ScenarioGrid is an expanded scenario: jobs plus their grid
+	// coordinates.
+	ScenarioGrid = scenario.Grid
+	// ScenarioPoint is one job's grid coordinates.
+	ScenarioPoint = scenario.Point
+
+	// Sink consumes streamed per-job telemetry; see NewCSVSink,
+	// NewJSONLSink, NewRingSink, NewDownsampler, NewTeeSink.
+	Sink = sink.Sink
+	// SinkJobID tags a sample with the job that produced it.
+	SinkJobID = sink.JobID
+
+	// JobStat joins one job's grid coordinates, run outcome and violation
+	// statistics — the unit the analytics aggregate over.
+	JobStat = analytics.JobStat
+	// UserComfort is one user's violation/comfort distribution.
+	UserComfort = analytics.UserComfort
+	// HeatMap is a row × column matrix of aggregated sweep results.
+	HeatMap = analytics.HeatMap
+	// SchemeDelta is one grid cell's scheme-vs-scheme outcome.
+	SchemeDelta = analytics.Delta
+	// ViolationSink accumulates streaming per-job time-over-limit
+	// statistics (see NewViolationSink).
+	ViolationSink = analytics.ViolationSink
 )
 
 // DefaultLimitC is the "default user" comfort limit (37 °C), the average of
@@ -172,9 +207,216 @@ func WithObserver(fn func(Sample)) SessionOption { return fleet.WithObserver(fn)
 // Job.TraceFree.
 func WithTraceFree() SessionOption { return fleet.WithTraceFree() }
 
+// WithSink streams the session's telemetry into a sink (job tag 0);
+// composable with WithObserver, and still fires for every sample under
+// WithTraceFree. The caller owns the sink's lifecycle.
+func WithSink(s Sink) SessionOption { return fleet.WithSink(s) }
+
 // NewFleet creates the concurrent batch engine; the zero FleetConfig is
 // valid and uses GOMAXPROCS workers.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
+
+// LoadScenario reads a declarative sweep spec from a JSON or YAML file
+// (format autodetected from content) and validates it.
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates a sweep spec from JSON or YAML
+// bytes. Unknown fields are rejected.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
+
+// SweepResult is one scenario run: the expanded grid, the per-job fleet
+// results (submission order), and the joined per-job stats the analytics
+// helpers consume.
+type SweepResult struct {
+	Grid    *ScenarioGrid
+	Results []JobResult
+	Stats   []JobStat
+}
+
+// FirstError returns the first failed job's error, or nil.
+func (r *SweepResult) FirstError() error { return fleet.FirstError(r.Results) }
+
+// ComfortByUser aggregates the sweep into per-user comfort distributions.
+func (r *SweepResult) ComfortByUser() []UserComfort { return analytics.ComfortByUser(r.Stats) }
+
+// ViolationHeatMap pivots the sweep into an ambient × limit map of mean
+// time-over-limit.
+func (r *SweepResult) ViolationHeatMap() *HeatMap { return analytics.ViolationHeatMap(r.Stats) }
+
+// CompareSchemes reduces the sweep to per-cell deltas (alt − base).
+func (r *SweepResult) CompareSchemes(base, alt string) ([]SchemeDelta, error) {
+	return analytics.CompareSchemes(r.Stats, base, alt)
+}
+
+// scenarioRun accumulates RunScenario options.
+type scenarioRun struct {
+	workers  int
+	device   *DeviceConfig
+	pred     *Predictor
+	sink     Sink
+	progress func(done, total int)
+}
+
+// ScenarioOption configures RunScenario.
+type ScenarioOption func(*scenarioRun)
+
+// ScenarioWorkers bounds the sweep's worker pool (<= 0: GOMAXPROCS).
+// Results are identical at any width.
+func ScenarioWorkers(n int) ScenarioOption { return func(rc *scenarioRun) { rc.workers = n } }
+
+// ScenarioDevice sets the base device configuration the grid expands
+// against (default: DefaultDeviceConfig).
+func ScenarioDevice(cfg DeviceConfig) ScenarioOption {
+	return func(rc *scenarioRun) { rc.device = &cfg }
+}
+
+// ScenarioPredictor supplies the trained predictor backing usta schemes.
+// Without it, RunScenario trains one from the spec's predictor settings
+// (deterministic, but a corpus collection per call — share a predictor
+// across sweeps when running many).
+func ScenarioPredictor(p *Predictor) ScenarioOption { return func(rc *scenarioRun) { rc.pred = p } }
+
+// ScenarioSink streams every job's telemetry into s during the sweep.
+// Combined with the spec's trace_free, a sweep of any size runs with O(1)
+// sample memory. RunScenario does not close the sink.
+func ScenarioSink(s Sink) ScenarioOption { return func(rc *scenarioRun) { rc.sink = s } }
+
+// ScenarioProgress reports per-job completion (calls are serialized).
+func ScenarioProgress(fn func(done, total int)) ScenarioOption {
+	return func(rc *scenarioRun) { rc.progress = fn }
+}
+
+// RunScenario expands the spec and executes the whole grid on a fleet:
+// the declarative counterpart of NewFleet + hand-built jobs. Per-job
+// failures surface in the result (SweepResult.FirstError); the returned
+// error covers spec, expansion and predictor-training problems. Output is
+// byte-identical at any worker count.
+func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption) (*SweepResult, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("repro: RunScenario(nil spec)")
+	}
+	rc := scenarioRun{}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	devCfg := DefaultDeviceConfig()
+	if rc.device != nil {
+		devCfg = *rc.device
+	}
+	pred := rc.pred
+	if pred == nil && spec.NeedsPredictor() {
+		// Self-train exactly like the experiment pipeline: the thirteen
+		// benchmarks on the stock phone, REPTree on the log.
+		corpusSeed := spec.Predictor.CorpusSeed
+		if corpusSeed == 0 {
+			corpusSeed = 42
+		}
+		corpus, err := core.CollectCorpusContext(ctx, devCfg,
+			benchmarkLoads(corpusSeed), spec.Predictor.CorpusPerRunSec, rc.workers)
+		if err != nil {
+			return nil, fmt.Errorf("repro: scenario corpus: %w", err)
+		}
+		pred, err = core.Train(corpus, nil)
+		if err != nil {
+			return nil, fmt.Errorf("repro: scenario predictor: %w", err)
+		}
+	}
+	grid, err := spec.Expand(scenario.Env{Device: &devCfg, Predictor: pred})
+	if err != nil {
+		return nil, err
+	}
+	// Trace-free sweeps retain no per-sample history, so violation
+	// statistics are accumulated on the fly: the run sink is teed into a
+	// ViolationSink sized from the grid, and the stats are filled from it.
+	runSink := rc.sink
+	var vs *analytics.ViolationSink
+	if spec.TraceFree {
+		vs = analytics.NewViolationSink(grid.Limits())
+		if runSink != nil {
+			runSink = sink.NewTee(vs, runSink)
+		} else {
+			runSink = vs
+		}
+	}
+	fl := fleet.New(fleet.Config{
+		Workers:    rc.workers,
+		Seed:       spec.Seeds.Base,
+		OnProgress: rc.progress,
+		Sink:       runSink,
+	})
+	results := fl.Run(ctx, grid.Jobs)
+	stats, err := analytics.Flatten(grid, results)
+	if err != nil {
+		return nil, err
+	}
+	if vs != nil {
+		vs.Apply(stats)
+	}
+	return &SweepResult{Grid: grid, Results: results, Stats: stats}, nil
+}
+
+// benchmarkLoads returns the thirteen paper workloads as the corpus
+// workload slice.
+func benchmarkLoads(seed uint64) []workload.Workload {
+	bs := workload.Benchmarks(seed)
+	loads := make([]workload.Workload, len(bs))
+	for i, b := range bs {
+		loads[i] = b
+	}
+	return loads
+}
+
+// Streaming sink constructors (see internal/sink for semantics). All
+// built-ins are safe for concurrent Accept calls and latch their first
+// I/O error for Close.
+
+// NewCSVSink streams samples as CSV rows with a leading job column.
+func NewCSVSink(w io.Writer) Sink { return sink.NewCSV(w) }
+
+// NewJSONLSink streams samples as one JSON object per line.
+func NewJSONLSink(w io.Writer) Sink { return sink.NewJSONL(w) }
+
+// NewRingSink keeps the most recent n samples across all jobs.
+func NewRingSink(n int) *sink.Ring { return sink.NewRing(n) }
+
+// NewDownsampler forwards at most one sample per job per periodSec of
+// simulated time to next.
+func NewDownsampler(periodSec float64, next Sink) Sink { return sink.NewDownsampler(periodSec, next) }
+
+// NewTeeSink fans every sample out to all children.
+func NewTeeSink(sinks ...Sink) Sink { return sink.NewTee(sinks...) }
+
+// SinkFromFunc adapts a legacy func(Sample) observer into a Sink — the
+// backward-compatible bridge for WithObserver-era consumers.
+func SinkFromFunc(fn func(Sample)) Sink { return sink.FromFunc(fn) }
+
+// NewViolationSink accumulates per-job time-over-limit statistics from a
+// stream (limits indexed by job, typically ScenarioGrid.Limits) — the
+// trace-free path to violation analytics; Apply it to SweepResult.Stats.
+// RunScenario wires one automatically for trace-free specs.
+func NewViolationSink(limits []float64) *ViolationSink {
+	return analytics.NewViolationSink(limits)
+}
+
+// Analytics renderers: markdown and CSV forms of the sweep aggregates.
+
+// ComfortMarkdown renders per-user comfort rows as a markdown table.
+func ComfortMarkdown(rows []UserComfort) string { return analytics.ComfortMarkdown(rows) }
+
+// WriteComfortCSV renders per-user comfort rows as CSV.
+func WriteComfortCSV(w io.Writer, rows []UserComfort) error {
+	return analytics.WriteComfortCSV(w, rows)
+}
+
+// DeltasMarkdown renders scheme-vs-scheme deltas as a markdown table.
+func DeltasMarkdown(deltas []SchemeDelta, base, alt string) string {
+	return analytics.DeltasMarkdown(deltas, base, alt)
+}
+
+// WriteDeltasCSV renders scheme-vs-scheme deltas as CSV.
+func WriteDeltasCSV(w io.Writer, deltas []SchemeDelta) error {
+	return analytics.WriteDeltasCSV(w, deltas)
+}
 
 // GovernorByName constructs a cpufreq governor by name against a device
 // configuration's OPP table.
