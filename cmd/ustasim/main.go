@@ -29,10 +29,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro"
 	"repro/internal/experiments"
 )
 
 func main() {
+	// When spawned as a shard worker (-shards re-executes this binary),
+	// serve the shard over stdin/stdout and exit before touching flags.
+	repro.ShardWorkerMain()
 	var (
 		exp       = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|replicate|all")
 		scenPath  = flag.String("scenario", "", "declarative sweep file (JSON or YAML); overrides -experiment")
@@ -44,9 +48,22 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs or scenario aggregate CSVs (empty = no dump)")
 		repN      = flag.Int("n", 5, "replications for -experiment replicate")
 		workers   = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
+		shards    = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
 	)
 	flag.Parse()
 
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "ustasim: -shards must be >= 0 (0 = in-process)")
+		os.Exit(1)
+	}
+	if *shards != 0 && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -shards requires -scenario")
+		os.Exit(1)
+	}
+	if *jsonlPath != "" && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -jsonl requires -scenario")
+		os.Exit(1)
+	}
 	if *scenPath != "" {
 		// A scenario file carries its own scale, seeds and corpus policy;
 		// silently ignoring the experiment flags would make the user
@@ -58,7 +75,7 @@ func main() {
 				os.Exit(1)
 			}
 		})
-		if err := runScenario(*scenPath, *workers, *jsonlPath, *csvDir, os.Stdout); err != nil {
+		if err := runScenario(*scenPath, *workers, *shards, *jsonlPath, *csvDir, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ustasim:", err)
 			os.Exit(1)
 		}

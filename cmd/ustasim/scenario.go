@@ -15,8 +15,10 @@ import (
 // when the grid has more than one (ambient, limit) cell, and
 // scheme-vs-scheme deltas when the scheme axis has at least two entries.
 // An optional JSONL path streams every telemetry sample; an optional CSV
-// directory receives the aggregate tables.
-func runScenario(path string, workers int, jsonlPath, csvDir string, out io.Writer) error {
+// directory receives the aggregate tables. shards != 0 fans the grid out
+// across worker subprocesses (aggregates and streams are identical either
+// way).
+func runScenario(path string, workers, shards int, jsonlPath, csvDir string, out io.Writer) error {
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -33,6 +35,9 @@ func runScenario(path string, workers int, jsonlPath, csvDir string, out io.Writ
 				}
 			}
 		}),
+	}
+	if shards != 0 {
+		opts = append(opts, repro.ScenarioShards(shards))
 	}
 	var jsonlFile *os.File
 	var jsonlSink repro.Sink
@@ -84,7 +89,7 @@ func runScenario(path string, workers int, jsonlPath, csvDir string, out io.Writ
 
 	var deltas []repro.SchemeDelta
 	if s := spec.Schemes; len(s) >= 2 {
-		base, alt := schemeLabel(s[0]), schemeLabel(s[1])
+		base, alt := s[0].Label(), s[1].Label()
 		deltas, err = res.CompareSchemes(base, alt)
 		if err != nil {
 			return err
@@ -116,17 +121,6 @@ func runScenario(path string, workers int, jsonlPath, csvDir string, out io.Writ
 		fmt.Fprintf(out, "aggregates written to %s\n", csvDir)
 	}
 	return nil
-}
-
-// schemeLabel mirrors the expansion's scheme naming default.
-func schemeLabel(s repro.ScenarioScheme) string {
-	if s.Name != "" {
-		return s.Name
-	}
-	if s.Controller == "" || s.Controller == "none" {
-		return "baseline"
-	}
-	return s.Controller
 }
 
 // writeCSV writes one aggregate table to a file.

@@ -5,7 +5,16 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
+
+// TestMain lets the test binary serve as a shard worker for the -shards
+// smoke test (the shard runner re-executes the current binary).
+func TestMain(m *testing.M) {
+	repro.ShardWorkerMain()
+	os.Exit(m.Run())
+}
 
 // TestRunScenarioSmoke drives the -scenario path end to end on a tiny
 // sweep: two workloads × two ambients, trace-free, streaming to JSONL and
@@ -29,7 +38,7 @@ trace_free: true
 	csvDir := filepath.Join(dir, "out")
 
 	var out strings.Builder
-	if err := runScenario(specPath, 2, jsonl, csvDir, &out); err != nil {
+	if err := runScenario(specPath, 2, 0, jsonl, csvDir, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -45,6 +54,35 @@ trace_free: true
 	if lines := strings.Count(string(data), "\n"); lines == 0 {
 		t.Fatal("JSONL stream is empty")
 	}
+
+	// Shard mode: the same sweep across 2 worker processes must stream the
+	// same number of samples and produce the same aggregate tables.
+	jsonl2 := filepath.Join(dir, "samples_sharded.jsonl")
+	csvDir2 := filepath.Join(dir, "out_sharded")
+	var out2 strings.Builder
+	if err := runScenario(specPath, 2, 2, jsonl2, csvDir2, &out2); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	data2, err := os.ReadFile(jsonl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Count(string(data2), "\n"), strings.Count(string(data), "\n"); got != want {
+		t.Fatalf("sharded JSONL streamed %d samples, local streamed %d", got, want)
+	}
+	for _, f := range []string{"comfort.csv", "heatmap.csv"} {
+		local, err := os.ReadFile(filepath.Join(csvDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := os.ReadFile(filepath.Join(csvDir2, f))
+		if err != nil {
+			t.Fatalf("sharded aggregate %s not written: %v", f, err)
+		}
+		if string(local) != string(sharded) {
+			t.Fatalf("aggregate %s differs between local and sharded runs:\nlocal:\n%s\nsharded:\n%s", f, local, sharded)
+		}
+	}
 	for _, f := range []string{"comfort.csv", "heatmap.csv"} {
 		if _, err := os.Stat(filepath.Join(csvDir, f)); err != nil {
 			t.Fatalf("aggregate %s not written: %v", f, err)
@@ -55,14 +93,14 @@ trace_free: true
 	}
 
 	// Bad spec path and bad spec content both surface as errors.
-	if err := runScenario(filepath.Join(dir, "missing.json"), 1, "", "", &out); err == nil {
+	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", "", &out); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(bad, 1, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+	if err := runScenario(bad, 1, 0, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
 		t.Fatalf("invalid spec error = %v", err)
 	}
 }

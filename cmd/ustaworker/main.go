@@ -1,0 +1,21 @@
+// Command ustaworker is a standalone shard worker: it serves exactly one
+// wire.ShardRequest over stdin/stdout and exits. A shard coordinator
+// (repro.NewShardRunner / ustasim -shards) spawns workers by re-executing
+// its own binary by default; point the runner's Command at a built
+// ustaworker to decouple the coordinator from the worker build — the first
+// step toward dispatching shards to other hosts.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/fleet/shard"
+)
+
+func main() {
+	if err := shard.Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ustaworker:", err)
+		os.Exit(1)
+	}
+}

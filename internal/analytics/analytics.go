@@ -227,9 +227,68 @@ func ComfortByUser(stats []JobStat) []UserComfort {
 	return out
 }
 
-// HeatMap is a dense row × column matrix of mean cell values — the
-// ambient × limit violation surface of the ROADMAP, but generic over the
-// two numeric axes.
+// Quantile returns the q-quantile (q in [0,1]) of vs by linear
+// interpolation between order statistics (the numpy/R type-7 estimator).
+// vs need not be sorted; an empty input returns NaN.
+func Quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over an already-sorted non-empty slice, so
+// multi-quantile reductions (Summarize, Pivot cells) sort once.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary is a distribution summary over a set of per-job values — the
+// shape the ROADMAP's "percentile distributions" item asks heat-map cells
+// to carry beyond the mean.
+type Summary struct {
+	N                        int
+	Mean, P50, P95, P99, Max float64
+}
+
+// Summarize reduces values to a Summary (an empty input yields NaN
+// statistics).
+func Summarize(vs []float64) Summary {
+	s := Summary{N: len(vs), Mean: math.NaN(), P50: math.NaN(), P95: math.NaN(), P99: math.NaN(), Max: math.NaN()}
+	if len(vs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(len(sorted))
+	s.P50 = quantileSorted(sorted, 0.5)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// HeatMap is a dense row × column matrix of cell distribution summaries —
+// the ambient × limit violation surface of the ROADMAP, but generic over
+// the two numeric axes.
 type HeatMap struct {
 	// RowLabel / ColLabel name the axes (e.g. "ambient_c", "limit_c").
 	RowLabel, ColLabel string
@@ -241,6 +300,22 @@ type HeatMap struct {
 	// bucket is empty); Counts[r][c] is the bucket population.
 	Cells  [][]float64
 	Counts [][]int
+	// P95/P99[r][c] are the bucket's distribution percentiles (NaN when
+	// empty; equal to the value when the bucket holds one job).
+	P95, P99 [][]float64
+}
+
+// HasDistribution reports whether any bucket aggregates more than one job
+// — i.e. whether the percentile surfaces carry information beyond Cells.
+func (h *HeatMap) HasDistribution() bool {
+	for _, row := range h.Counts {
+		for _, n := range row {
+			if n > 1 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // ViolationHeatMap pivots stats into an ambient × limit map of mean
@@ -260,11 +335,7 @@ func ViolationHeatMap(stats []JobStat) *HeatMap {
 func Pivot(stats []JobStat, rowLabel, colLabel, valueLabel string, project func(*JobStat) (row, col, value float64, ok bool)) *HeatMap {
 	rowSet := map[float64]bool{}
 	colSet := map[float64]bool{}
-	type cell struct {
-		sum float64
-		n   int
-	}
-	cells := map[[2]float64]*cell{}
+	cells := map[[2]float64][]float64{}
 	for i := range stats {
 		r, c, v, ok := project(&stats[i])
 		if !ok {
@@ -273,11 +344,7 @@ func Pivot(stats []JobStat, rowLabel, colLabel, valueLabel string, project func(
 		rowSet[r] = true
 		colSet[c] = true
 		key := [2]float64{r, c}
-		if cells[key] == nil {
-			cells[key] = &cell{}
-		}
-		cells[key].sum += v
-		cells[key].n++
+		cells[key] = append(cells[key], v)
 	}
 	h := &HeatMap{RowLabel: rowLabel, ColLabel: colLabel, ValueLabel: valueLabel}
 	for r := range rowSet {
@@ -290,16 +357,19 @@ func Pivot(stats []JobStat, rowLabel, colLabel, valueLabel string, project func(
 	sort.Float64s(h.Cols)
 	h.Cells = make([][]float64, len(h.Rows))
 	h.Counts = make([][]int, len(h.Rows))
+	h.P95 = make([][]float64, len(h.Rows))
+	h.P99 = make([][]float64, len(h.Rows))
 	for ri, r := range h.Rows {
 		h.Cells[ri] = make([]float64, len(h.Cols))
 		h.Counts[ri] = make([]int, len(h.Cols))
+		h.P95[ri] = make([]float64, len(h.Cols))
+		h.P99[ri] = make([]float64, len(h.Cols))
 		for ci, c := range h.Cols {
-			if cl := cells[[2]float64{r, c}]; cl != nil {
-				h.Cells[ri][ci] = cl.sum / float64(cl.n)
-				h.Counts[ri][ci] = cl.n
-			} else {
-				h.Cells[ri][ci] = math.NaN()
-			}
+			s := Summarize(cells[[2]float64{r, c}])
+			h.Cells[ri][ci] = s.Mean
+			h.Counts[ri][ci] = s.N
+			h.P95[ri][ci] = s.P95
+			h.P99[ri][ci] = s.P99
 		}
 	}
 	return h

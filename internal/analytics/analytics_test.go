@@ -240,19 +240,67 @@ func TestPivotHeatMap(t *testing.T) {
 	if !math.IsNaN(h.Cells[0][1]) || h.Counts[0][1] != 0 {
 		t.Fatalf("cell (15,39) should be empty, got %v/%d", h.Cells[0][1], h.Counts[0][1])
 	}
+	// Per-cell percentiles: cell (15,35) holds {0.2, 0.4}, so the type-7
+	// p95 interpolates to 0.2 + 0.95·0.2 = 0.39; one-job cells collapse to
+	// their value; empty cells stay NaN.
+	if got := h.P95[0][0]; math.Abs(got-0.39) > 1e-12 {
+		t.Fatalf("p95 (15,35) = %v want 0.39", got)
+	}
+	if got := h.P99[1][0]; got != 0.8 {
+		t.Fatalf("p99 of a one-job cell = %v want its value 0.8", got)
+	}
+	if !math.IsNaN(h.P95[0][1]) {
+		t.Fatalf("p95 of an empty cell = %v want NaN", h.P95[0][1])
+	}
+	if !h.HasDistribution() {
+		t.Fatal("a cell aggregates two jobs; HasDistribution should be true")
+	}
 	md := h.Markdown()
 	if !strings.Contains(md, "—") || !strings.Contains(md, "30.0%") {
 		t.Fatalf("markdown rendering wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "p95") || !strings.Contains(md, "39.0%") || !strings.Contains(md, "p99") {
+		t.Fatalf("markdown missing percentile surfaces:\n%s", md)
 	}
 	var csv strings.Builder
 	if err := h.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("csv rows = %d want 3:\n%s", len(lines), csv.String())
+	if len(lines) != 9 { // mean, p95, p99 matrices × (header + 2 rows)
+		t.Fatalf("csv rows = %d want 9:\n%s", len(lines), csv.String())
 	}
 	if !strings.HasSuffix(lines[1], "0.3000,") {
 		t.Fatalf("empty cell should render empty: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "ambient_c p95\\limit_c") || !strings.HasSuffix(lines[4], "0.3900,") {
+		t.Fatalf("p95 block wrong: %q / %q", lines[3], lines[4])
+	}
+}
+
+// TestQuantileAndSummarize pins the percentile estimator: type-7 linear
+// interpolation, edge clamping, NaN for empty input.
+func TestQuantileAndSummarize(t *testing.T) {
+	vs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.95, 3.85}, {-1, 1}, {2, 4},
+	}
+	for _, tc := range cases {
+		if got := analytics.Quantile(vs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v, %g) = %v want %v", vs, tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(analytics.Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty input should be NaN")
+	}
+	s := analytics.Summarize(vs)
+	if s.N != 4 || s.Mean != 2.5 || s.Max != 4 || s.P50 != 2.5 {
+		t.Errorf("Summarize(%v) = %+v", vs, s)
+	}
+	if math.Abs(s.P99-3.97) > 1e-12 {
+		t.Errorf("p99 = %v want 3.97", s.P99)
+	}
+	if e := analytics.Summarize(nil); e.N != 0 || !math.IsNaN(e.Mean) {
+		t.Errorf("Summarize(nil) = %+v", e)
 	}
 }

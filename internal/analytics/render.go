@@ -54,53 +54,81 @@ func ComfortMarkdown(rows []UserComfort) string {
 }
 
 // WriteCSV renders the heat map as CSV: one header row of column values,
-// one row per row value. Empty buckets render as empty cells.
+// one row per row value, empty buckets as empty cells. When any bucket
+// aggregates more than one job, the mean matrix is followed by p95 and p99
+// matrices (separated by a labelled header row), closing the ROADMAP's
+// per-cell percentile-distribution item.
 func (h *HeatMap) WriteCSV(w io.Writer) error {
-	cols := make([]string, 0, len(h.Cols)+1)
-	cols = append(cols, h.RowLabel+`\`+h.ColLabel)
-	for _, c := range h.Cols {
-		cols = append(cols, fmt.Sprintf("%g", c))
+	writeMatrix := func(label string, cells [][]float64) error {
+		cols := make([]string, 0, len(h.Cols)+1)
+		cols = append(cols, label+`\`+h.ColLabel)
+		for _, c := range h.Cols {
+			cols = append(cols, fmt.Sprintf("%g", c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+		for ri, r := range h.Rows {
+			row := make([]string, 0, len(h.Cols)+1)
+			row = append(row, fmt.Sprintf("%g", r))
+			for ci := range h.Cols {
+				row = append(row, fmtCell(cells[ri][ci], "%.4f"))
+			}
+			if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+	if err := writeMatrix(h.RowLabel, h.Cells); err != nil {
 		return err
 	}
-	for ri, r := range h.Rows {
-		row := make([]string, 0, len(h.Cols)+1)
-		row = append(row, fmt.Sprintf("%g", r))
-		for ci := range h.Cols {
-			row = append(row, fmtCell(h.Cells[ri][ci], "%.4f"))
+	if h.HasDistribution() && h.P95 != nil {
+		if err := writeMatrix(h.RowLabel+" p95", h.P95); err != nil {
+			return err
 		}
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		if err := writeMatrix(h.RowLabel+" p99", h.P99); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Markdown renders the heat map as a markdown table with percentage cells
-// (the violation surface reads naturally as % of time over the limit).
+// Markdown renders the heat map as markdown tables with percentage cells
+// (the violation surface reads naturally as % of time over the limit):
+// the mean surface always, and the per-cell p95/p99 surfaces whenever any
+// bucket aggregates more than one job.
 func (h *HeatMap) Markdown() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "| %s \\ %s |", h.RowLabel, h.ColLabel)
-	for _, c := range h.Cols {
-		fmt.Fprintf(&b, " %g |", c)
-	}
-	b.WriteString("\n|---|")
-	for range h.Cols {
-		b.WriteString("---|")
-	}
-	b.WriteString("\n")
-	for ri, r := range h.Rows {
-		fmt.Fprintf(&b, "| %g |", r)
-		for ci := range h.Cols {
-			v := h.Cells[ri][ci]
-			if math.IsNaN(v) {
-				b.WriteString(" — |")
-			} else {
-				fmt.Fprintf(&b, " %.1f%% |", v*100)
-			}
+	table := func(label string, cells [][]float64) {
+		fmt.Fprintf(&b, "| %s \\ %s |", label, h.ColLabel)
+		for _, c := range h.Cols {
+			fmt.Fprintf(&b, " %g |", c)
+		}
+		b.WriteString("\n|---|")
+		for range h.Cols {
+			b.WriteString("---|")
 		}
 		b.WriteString("\n")
+		for ri, r := range h.Rows {
+			fmt.Fprintf(&b, "| %g |", r)
+			for ci := range h.Cols {
+				v := cells[ri][ci]
+				if math.IsNaN(v) {
+					b.WriteString(" — |")
+				} else {
+					fmt.Fprintf(&b, " %.1f%% |", v*100)
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	table(h.RowLabel, h.Cells)
+	if h.HasDistribution() && h.P95 != nil {
+		b.WriteString("\n")
+		table(h.RowLabel+" p95", h.P95)
+		b.WriteString("\n")
+		table(h.RowLabel+" p99", h.P99)
 	}
 	return b.String()
 }

@@ -89,6 +89,11 @@ func New(cfg Config, initialSoC float64) (*Pack, error) {
 	return &Pack{cfg: cfg, soc: clamp01(initialSoC), invCapJ: 1 / (3600 * cfg.CapacityWh)}, nil
 }
 
+// Reset returns the pack to the given state of charge, as if freshly
+// constructed; the fleet's phone pool uses it to recycle packs across
+// jobs.
+func (p *Pack) Reset(initialSoC float64) { p.soc = clamp01(initialSoC) }
+
 // MustNew is New that panics on configuration errors.
 func MustNew(cfg Config, initialSoC float64) *Pack {
 	p, err := New(cfg, initialSoC)

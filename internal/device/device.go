@@ -152,6 +152,44 @@ func New(cfg Config, gov governor.Governor) (*Phone, error) {
 	return p, nil
 }
 
+// Reset returns the phone to its power-on state under its existing
+// configuration, with a new device seed and governor, reusing every
+// allocation: thermal nodes back at the ambient, battery at the initial
+// state of charge, CPU at the lowest OPP with no clamp, sensors reseeded
+// (seed+11/13/17/19, exactly like New), logs cleared, controller and
+// observer detached, trace retention back on. A reset phone is
+// behaviorally byte-identical to device.New with the same configuration
+// and seed — the fleet's phone pool relies on that equivalence, and the
+// device tests pin it. A nil governor selects stock ondemand, like New.
+func (p *Phone) Reset(gov governor.Governor, seed int64) {
+	p.cfg.Seed = seed
+	if gov == nil {
+		gov = governor.NewOndemand(freqTable(p.cfg.SoC))
+	}
+	p.gov = gov
+	p.ctrl = nil
+	p.observer = nil
+	p.cpu.Reset()
+	p.pack.Reset(p.cfg.InitialSoC)
+	p.net.ResetState()
+	p.touching = false
+	thermal.ApplyTouch(p.net, p.nodes, p.cfg.Thermal, false)
+	p.cpuSensor.Reseed(seed + 11)
+	p.batSensor.Reseed(seed + 13)
+	p.skinTherm.Reseed(seed + 17)
+	p.screenTherm.Reseed(seed + 19)
+	p.logger.Reset()
+	p.logger.SetRetainLatestOnly(false)
+	p.traceFree = false
+	if p.hotplug != nil {
+		p.hotplug = governor.NewHotplug(p.cfg.SoC.NumCores)
+	}
+	p.timeSec = 0
+	p.govWinUtil, p.govWinSamples = 0, 0
+	p.lastGovSec, p.lastCtrlSec = 0, 0
+	p.utilNow, p.powerNowW = 0, 0
+}
+
 // MustNew is New that panics on error; for hard-coded configurations.
 func MustNew(cfg Config, gov governor.Governor) *Phone {
 	p, err := New(cfg, gov)

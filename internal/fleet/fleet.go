@@ -14,26 +14,51 @@ import (
 	"repro/internal/workload"
 )
 
-// Config parameterizes a Fleet.
+// Config parameterizes a batch run. It is shared by every Runner: the
+// in-process LocalRunner consumes all of it directly, while multi-process
+// runners (internal/fleet/shard) forward Workers to each worker process and
+// service Sink/OnProgress/OnResult on the coordinator side.
 type Config struct {
-	// Workers bounds simultaneous simulations (<= 0: GOMAXPROCS).
+	// Workers bounds simultaneous simulations (<= 0: GOMAXPROCS; see
+	// NormalizeWorkers). Under a sharding runner a positive value is the
+	// pool width inside each worker process; left unset, the machine's
+	// cores are split across the shard processes instead of oversubscribed
+	// procs × GOMAXPROCS wide.
 	Workers int
 	// Seed is the base for derived per-job seeds (jobs with an explicit
 	// Seed ignore it). Deriving from (Seed, job index) — never from worker
 	// identity or scheduling — is what makes Run's output independent of
-	// Workers.
+	// Workers, and of how jobs are partitioned across processes.
 	Seed int64
 	// OnProgress, when set, is called after each job completes with the
 	// number of finished jobs and the batch size. Calls are serialized.
 	OnProgress func(done, total int)
+	// OnResult, when set, receives each JobResult as its job completes, in
+	// completion order (Run's return value stays in submission order).
+	// Calls are serialized with OnProgress; the result passed is the same
+	// value Run will return for that index.
+	OnResult func(JobResult)
 	// Sink, when set, receives every telemetry sample of every job, tagged
 	// with the job's index (sink.JobID matches JobResult.Index). Accept is
 	// called concurrently from worker goroutines; the built-ins in package
 	// sink synchronize internally. Combined with Job.TraceFree this is the
 	// O(1)-memory path for large sweeps: samples stream out as they are
 	// produced and no per-job Trace is retained. The fleet never closes the
-	// sink — the caller owns its lifecycle.
+	// sink — the caller owns its lifecycle. Sharding runners deliver the
+	// same stream: workers forward samples over their pipe and the
+	// coordinator replays them into this sink.
 	Sink sink.Sink
+	// Runner executes the batch (nil: LocalRunner). Runners must honor the
+	// determinism contract: same jobs, same Seed → byte-identical results
+	// at any parallelism.
+	Runner Runner
+}
+
+// Runner executes a batch of jobs under a batch configuration and returns
+// one result per job in submission order. LocalRunner is the in-process
+// worker pool; internal/fleet/shard adds a multi-process implementation.
+type Runner interface {
+	Run(ctx context.Context, cfg Config, jobs []Job) []JobResult
 }
 
 // Job is one unit of fleet work: a user running a workload on a device
@@ -51,7 +76,9 @@ type Job struct {
 	// Device is the handset configuration; nil selects
 	// device.DefaultConfig. A non-nil config is used as given (and
 	// validated by the device layer), so partial configs fail with a
-	// descriptive per-job error instead of being silently replaced.
+	// descriptive per-job error instead of being silently replaced. The
+	// pointed-to config must not be mutated while the batch runs: the
+	// fleet keys its phone-allocation pool on it.
 	Device *device.Config
 	// Governor, when non-nil, builds the job's cpufreq governor. A factory
 	// rather than an instance: governors are stateful and each job needs
@@ -77,6 +104,13 @@ type Job struct {
 	// otherwise the fleet derives a seed from its base seed and the job
 	// index.
 	Seed int64
+	// Spec, when non-nil, is the serializable description of this job —
+	// what a shard worker needs to rebuild it in another process. The
+	// scenario expander populates it; hand-built jobs only need one to run
+	// under a sharding runner (LocalRunner ignores it). The closures above
+	// stay authoritative for in-process runs; Spec must describe the same
+	// job.
+	Spec *JobSpec
 }
 
 // JobResult is one job's outcome. Failures are per-job: a bad device config
@@ -100,48 +134,117 @@ type JobResult struct {
 	Err error
 }
 
-// Fleet executes batches of independent simulation jobs on a worker pool.
+// Fleet executes batches of independent simulation jobs on a Runner.
 type Fleet struct {
 	cfg Config
 }
 
-// New creates a fleet; a zero Config is valid and uses GOMAXPROCS workers.
+// New creates a fleet; a zero Config is valid and uses GOMAXPROCS workers
+// on the in-process LocalRunner. Config.Workers is kept as configured —
+// each Runner normalizes it at execution time, which lets a sharding
+// runner distinguish "unset" (split the machine across processes) from an
+// explicit per-process width.
 func New(cfg Config) *Fleet {
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
 	return &Fleet{cfg: cfg}
 }
 
-// Workers reports the configured worker-pool width.
-func (f *Fleet) Workers() int { return f.cfg.Workers }
+// Workers reports the effective worker-pool width.
+func (f *Fleet) Workers() int { return NormalizeWorkers(f.cfg.Workers) }
 
-// Run executes all jobs and returns one result per job, in submission
-// order. Output is deterministic: per-job seeds derive from the job index,
-// so the same jobs produce identical results at any worker count. A
-// cancelled context marks the remaining jobs' results with the context
-// error rather than failing the batch.
+// Run executes all jobs on the configured Runner (default: the in-process
+// LocalRunner) and returns one result per job, in submission order. Output
+// is deterministic: per-job seeds derive from the job index, so the same
+// jobs produce identical results at any worker count — or any shard
+// partitioning. A cancelled context marks the remaining jobs' results with
+// the context error rather than failing the batch.
 func (f *Fleet) Run(ctx context.Context, jobs []Job) []JobResult {
+	r := f.cfg.Runner
+	if r == nil {
+		r = LocalRunner{}
+	}
+	return r.Run(ctx, f.cfg, jobs)
+}
+
+// NormalizeWorkers resolves a configured parallelism knob — a worker-pool
+// width or a shard count. Zero and negative values mean "one per available
+// CPU" (GOMAXPROCS); positive values are taken as given. Every layer that
+// accepts such a knob (fleet.Config.Workers, ForEach, the shard runner's
+// process count) normalizes through this one helper so the semantics
+// cannot drift between call sites.
+func NormalizeWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// LocalRunner is the in-process Runner: a bounded goroutine pool with
+// per-job position-derived seeding and sync.Pool-backed phone reuse across
+// jobs that share a device configuration.
+type LocalRunner struct{}
+
+// Run executes the batch on a goroutine pool of cfg.Workers.
+func (LocalRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]JobResult, len(jobs))
-	var mu sync.Mutex
-	done := 0
-	ForEach(len(jobs), f.cfg.Workers, func(i int) {
-		results[i] = f.runJob(ctx, i, jobs[i])
-		if f.cfg.OnProgress != nil {
-			mu.Lock()
-			done++
-			f.cfg.OnProgress(done, len(jobs))
-			mu.Unlock()
-		}
+	pool := newPhonePool()
+	report := ResultReporter(cfg, len(jobs))
+	ForEach(len(jobs), cfg.Workers, func(i int) {
+		results[i] = runJob(ctx, &cfg, pool, i, jobs[i])
+		report(results[i])
 	})
 	return results
 }
 
-// runJob builds and executes one job's phone.
-func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
+// ResultReporter returns the serialized completion-callback dispatcher for
+// a batch of total jobs: each call delivers the result to OnResult, then
+// the incremented done count to OnProgress, under one lock. Every Runner
+// reports through it, so the documented callback contract lives in one
+// place. The returned function is a no-op when the config has no
+// callbacks.
+func ResultReporter(cfg Config, total int) func(JobResult) {
+	if cfg.OnResult == nil && cfg.OnProgress == nil {
+		return func(JobResult) {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func(res JobResult) {
+		mu.Lock()
+		done++
+		if cfg.OnResult != nil {
+			cfg.OnResult(res)
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(done, total)
+		}
+		mu.Unlock()
+	}
+}
+
+// EffectiveSeed resolves the device seed job i of a batch will use under
+// the given base seed: an explicit Job.Seed wins, then a caller-pinned
+// Device.Seed (Session semantics), then the position-derived seed. Both the
+// local pool and the shard coordinator resolve seeds through this one
+// function — that shared resolution is what keeps sharded runs
+// byte-identical to local ones.
+func EffectiveSeed(base int64, i int, job *Job) int64 {
+	if job.Seed != 0 {
+		return job.Seed
+	}
+	// Only a caller-provided config can pin the seed; the fallback default
+	// config's own seed must not suppress per-job derivation, or every
+	// nil-Device job in a population would share one noise stream.
+	if job.Device != nil && job.Device.Seed != 0 {
+		return job.Device.Seed
+	}
+	return DeriveSeed(base, i)
+}
+
+// runJob builds and executes one job's phone, recycling phone allocations
+// through the batch's pool.
+func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) JobResult {
 	r := JobResult{Index: i, Name: job.Name, User: job.User}
 	if job.Workload == nil {
 		r.Err = fmt.Errorf("fleet: job %d has no workload", i)
@@ -154,48 +257,45 @@ func (f *Fleet) runJob(ctx context.Context, i int, job Job) JobResult {
 		r.Err = err
 		return r
 	}
-	cfg := device.DefaultConfig()
-	pinnedByConfig := false
-	if job.Device != nil {
-		cfg = *job.Device
-		// Only a caller-provided config can pin the seed; the fallback
-		// default config's own seed must not suppress per-job derivation,
-		// or every nil-Device job in a population would share one noise
-		// stream.
-		pinnedByConfig = cfg.Seed != 0
-	}
-	seed := job.Seed
-	if seed == 0 {
-		if pinnedByConfig { // honor the config's own seed, like Session
-			seed = cfg.Seed
-		} else {
-			seed = DeriveSeed(f.cfg.Seed, i)
-		}
-	}
-	cfg.Seed = seed
+	seed := EffectiveSeed(cfg.Seed, i, &job)
 	r.SeedUsed = seed
 	var gov governor.Governor
 	if job.Governor != nil {
 		gov = job.Governor()
 	}
-	phone, err := device.New(cfg, gov)
-	if err != nil {
-		r.Err = err
-		return r
+	phone := pool.get(job.Device)
+	if phone != nil {
+		phone.Reset(gov, seed)
+	} else {
+		// Pool miss: materialize the device configuration only here — the
+		// reuse path needs just the seed, and copying DefaultConfig per
+		// job would undercut the pool's allocation win.
+		devCfg := device.DefaultConfig()
+		if job.Device != nil {
+			devCfg = *job.Device
+		}
+		devCfg.Seed = seed
+		var err error
+		phone, err = device.New(devCfg, gov)
+		if err != nil {
+			r.Err = err
+			return r
+		}
 	}
 	if job.Controller != nil {
 		if c := job.Controller(job.User); c != nil {
 			phone.SetController(c)
 		}
 	}
-	if f.cfg.Sink != nil {
+	if cfg.Sink != nil {
 		id := sink.JobID(i)
-		phone.SetObserver(func(s device.Sample) { f.cfg.Sink.Accept(id, s) })
+		phone.SetObserver(func(s device.Sample) { cfg.Sink.Accept(id, s) })
 	}
 	if job.TraceFree {
 		phone.SetTraceFree(true)
 	}
 	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
+	pool.put(job.Device, phone)
 	return r
 }
 
@@ -218,18 +318,16 @@ func DeriveSeed(base int64, index int) int64 {
 }
 
 // ForEach runs fn(i) for every i in [0, n) across at most workers
-// goroutines (<= 0: GOMAXPROCS). It is the fleet's scheduling primitive,
-// exported for phone-free fan-out such as cross-validating prediction
-// models or collecting training corpora. fn must handle its own
-// synchronization for shared state; writing to element i of a pre-sized
-// slice is safe.
+// goroutines (normalized via NormalizeWorkers). It is the fleet's
+// scheduling primitive, exported for phone-free fan-out such as
+// cross-validating prediction models or collecting training corpora. fn
+// must handle its own synchronization for shared state; writing to element
+// i of a pre-sized slice is safe.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = NormalizeWorkers(workers)
 	if workers > n {
 		workers = n
 	}

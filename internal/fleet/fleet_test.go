@@ -1,9 +1,40 @@
 package fleet
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
+
+// TestNormalizeWorkers is the one table for every parallelism knob in the
+// codebase: worker pools, shard counts and ForEach all normalize through
+// this helper, so zero/negative handling cannot drift per call site.
+func TestNormalizeWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		in, want int
+	}{
+		{-100, procs},
+		{-1, procs},
+		{0, procs},
+		{1, 1},
+		{7, 7},
+		{1024, 1024},
+	}
+	for _, tc := range cases {
+		if got := NormalizeWorkers(tc.in); got != tc.want {
+			t.Errorf("NormalizeWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// The fleet constructor and the scheduling primitive agree with the
+	// helper by construction — pin the visible surfaces.
+	if got := New(Config{Workers: -3}).Workers(); got != procs {
+		t.Errorf("New(Workers: -3).Workers() = %d, want %d", got, procs)
+	}
+	if got := New(Config{Workers: 5}).Workers(); got != 5 {
+		t.Errorf("New(Workers: 5).Workers() = %d, want 5", got)
+	}
+}
 
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {

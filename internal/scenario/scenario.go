@@ -109,6 +109,20 @@ type Scheme struct {
 	LimitC float64 `json:"limit_c,omitempty"`
 }
 
+// Label returns the scheme's effective name: Name when set, otherwise the
+// controller name, with stock ("" / "none") schemes labelled "baseline".
+// Expansion, analytics joins and the CLI all resolve labels through this
+// one rule.
+func (s Scheme) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Controller == "" || s.Controller == "none" {
+		return "baseline"
+	}
+	return s.Controller
+}
+
 // Duration controls how long each job runs.
 type Duration struct {
 	// Sec, when positive, runs every job for exactly Sec seconds,
@@ -265,6 +279,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: non-positive limit %g °C", l)
 		}
 	}
+	labels := map[string]int{}
 	for i, sc := range s.Schemes {
 		switch sc.Controller {
 		case "", "none", "usta":
@@ -279,6 +294,15 @@ func (s *Spec) Validate() error {
 		if sc.LimitC < 0 {
 			return fmt.Errorf("scenario: scheme %d: negative limit %g °C", i, sc.LimitC)
 		}
+		// Duplicate labels would collapse distinct schemes into
+		// indistinguishable job names that filters cannot address and
+		// scheme-vs-scheme analytics reject much later with a confusing
+		// error; fail at validation instead.
+		label := sc.Label()
+		if prev, dup := labels[label]; dup {
+			return fmt.Errorf("scenario: schemes %d and %d share the label %q (set distinct names)", prev, i, label)
+		}
+		labels[label] = i
 	}
 	switch s.Seeds.Policy {
 	case "", "derived", "indexed":
@@ -447,15 +471,7 @@ func (s *Spec) Expand(env Env) (*Grid, error) {
 	}
 	schemeNames := make([]string, len(schemes))
 	for i, sc := range schemes {
-		name := sc.Name
-		if name == "" {
-			if sc.Controller == "" || sc.Controller == "none" {
-				name = "baseline"
-			} else {
-				name = sc.Controller
-			}
-		}
-		schemeNames[i] = name
+		schemeNames[i] = sc.Label()
 	}
 	// Governor factories are resolved once per scheme against the base
 	// OPP table; each job still gets its own instance (governors are
@@ -469,17 +485,11 @@ func (s *Spec) Expand(env Env) (*Grid, error) {
 		if sc.Governor == "" {
 			continue
 		}
-		if _, err := governor.ByName(sc.Governor, freqs); err != nil {
+		factory, err := fleet.GovernorFactory(sc.Governor, freqs)
+		if err != nil {
 			return nil, fmt.Errorf("scenario: scheme %q: %w", schemeNames[i], err)
 		}
-		name := sc.Governor
-		govFactories[i] = func() governor.Governor {
-			g, err := governor.ByName(name, freqs)
-			if err != nil { // validated above; unreachable
-				panic(err)
-			}
-			return g
-		}
+		govFactories[i] = factory
 	}
 
 	g := &Grid{Spec: s}
@@ -534,6 +544,21 @@ func (s *Spec) Expand(env Env) (*Grid, error) {
 							Device:    &cfgCopy,
 							DurSec:    dur,
 							TraceFree: s.TraceFree,
+							// Spec is the job's serializable twin: the same
+							// workload/governor/controller resolved by name
+							// instead of closure, so shard workers rebuild
+							// identical physics in another process.
+							Spec: &fleet.JobSpec{
+								Name:       name,
+								User:       pe.user,
+								Workload:   fleet.WorkloadRef{Name: wlNames[wi], Seed: s.Seeds.Workload},
+								Device:     &cfgCopy,
+								Governor:   sc.Governor,
+								Controller: sc.Controller,
+								LimitC:     effLimit,
+								DurSec:     dur,
+								TraceFree:  s.TraceFree,
+							},
 						}
 						// Seeds pin to the unfiltered grid position under
 						// both policies, so filters and worker counts never

@@ -96,6 +96,8 @@ func TestParseErrors(t *testing.T) {
 		{"bad device ambient", `{"version": 1, "workloads": ["skype"], "device": {"ambient_c": -80}}`, "outside the calibrated range"},
 		{"bad controller", `{"version": 1, "workloads": ["skype"], "schemes": [{"controller": "thermal-daemon"}]}`, `unknown controller "thermal-daemon"`},
 		{"bad governor", `{"version": 1, "workloads": ["skype"], "schemes": [{"governor": "warpspeed"}]}`, "warpspeed"},
+		{"duplicate scheme names", `{"version": 1, "workloads": ["skype"], "schemes": [{"name": "fast"}, {"name": "fast", "governor": "performance"}]}`, `share the label "fast"`},
+		{"duplicate default scheme labels", `{"version": 1, "workloads": ["skype"], "schemes": [{"controller": "usta", "limit_c": 37}, {"controller": "usta", "limit_c": 39}]}`, `share the label "usta"`},
 		{"bad seed policy", `{"version": 1, "workloads": ["skype"], "seeds": {"policy": "random"}}`, `unknown seed policy "random"`},
 		{"negative duration", `{"version": 1, "workloads": ["skype"], "duration": {"sec": -5}}`, "negative duration"},
 		{"non-positive limit", `{"version": 1, "workloads": ["skype"], "limits_c": [0]}`, "non-positive limit"},

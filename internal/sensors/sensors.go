@@ -113,6 +113,19 @@ func (s *Sensor) Read(trueC, dt float64) float64 {
 // temperature.
 func (s *Sensor) Reset() { s.primed = false }
 
+// Reseed restores the sensor to its just-constructed state under a new
+// noise seed: lag state and coefficient cache cleared, RNG reseeded. A
+// reseeded sensor produces the exact reading stream a NewSensor with the
+// same parameters and seed would — device.Phone.Reset (the fleet's phone
+// pool) relies on that.
+func (s *Sensor) Reseed(seed int64) {
+	s.rng.Seed(seed)
+	s.primed = false
+	s.state = 0
+	s.alphaDt = -1
+	s.alpha = 0
+}
+
 // Record is one line of the logging application: the observables available
 // on a stock phone plus, during training runs, the thermistor ground truth.
 type Record struct {

@@ -127,6 +127,15 @@ func (c *CPU) Config() Config { return c.cfg }
 // NumLevels returns the number of OPPs.
 func (c *CPU) NumLevels() int { return len(c.cfg.OPPs) }
 
+// Reset returns the CPU to its power-on state — lowest OPP, no frequency
+// clamp, all cores online — exactly the state New constructs. The fleet's
+// phone pool uses it to recycle CPUs across jobs.
+func (c *CPU) Reset() {
+	c.level = 0
+	c.maxLevel = len(c.cfg.OPPs) - 1
+	c.online = c.cfg.NumCores
+}
+
 // Level returns the current DVFS level index (0 = slowest).
 func (c *CPU) Level() int { return c.level }
 

@@ -84,6 +84,20 @@ func NewNetwork(ambient float64) *Network {
 	return &Network{ambient: ambient, dirty: true}
 }
 
+// ResetState returns every node to the network ambient temperature and
+// clears all injected power, leaving topology, conductances and cached
+// propagators untouched. For a network whose nodes were added at the
+// ambient (thermal.NewPhone), this is exactly the freshly built state —
+// device.Phone.Reset uses it to recycle networks across fleet jobs (bath
+// couplings mutated by ApplyTouch are restored by the caller's follow-up
+// ApplyTouch(false)).
+func (n *Network) ResetState() {
+	for i := range n.temps {
+		n.temps[i] = n.ambient
+		n.power[i] = 0
+	}
+}
+
 // AddNode adds a node with the given name, thermal capacitance (J/K) and
 // initial temperature (°C), returning its identifier.
 func (n *Network) AddNode(name string, capacitance, initTemp float64) NodeID {

@@ -61,6 +61,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/fleet/shard"
 	"repro/internal/governor"
 	"repro/internal/ml"
 	"repro/internal/ml/linreg"
@@ -102,8 +103,15 @@ type (
 	// Job is one unit of fleet work: (user, workload, device config,
 	// controller factory).
 	Job = fleet.Job
+	// JobSpec is a Job's serializable description — what lets it cross a
+	// process boundary under a shard runner. Scenario-expanded jobs carry
+	// one automatically.
+	JobSpec = fleet.JobSpec
 	// JobResult is one job's outcome, with per-job errors.
 	JobResult = fleet.JobResult
+	// Runner executes fleet batches: the in-process pool by default, or a
+	// multi-process shard coordinator (NewShardRunner).
+	Runner = fleet.Runner
 
 	// Workload is a deterministic demand trace.
 	Workload = workload.Workload
@@ -216,6 +224,25 @@ func WithSink(s Sink) SessionOption { return fleet.WithSink(s) }
 // valid and uses GOMAXPROCS workers.
 func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
 
+// NewShardRunner returns a fleet Runner that partitions every batch into n
+// contiguous shards (n <= 0: GOMAXPROCS), each executed by a worker
+// subprocess speaking length-prefixed JSON over its pipes, and merges
+// results — and streamed telemetry — back into submission order. Output is
+// byte-identical to the in-process runner: seeds are resolved from job
+// position before dispatch. Jobs must carry a JobSpec (scenario-expanded
+// jobs do); set the runner's Predictor when specs use the usta controller,
+// or let RunScenario do it. By default workers are spawned by re-executing
+// the current binary, which must call ShardWorkerMain first thing in
+// main(); set Command to a built cmd/ustaworker to avoid that.
+func NewShardRunner(n int) *shard.Runner { return shard.New(n) }
+
+// ShardWorkerMain serves a shard request over stdin/stdout and exits when
+// this process was spawned as a shard worker; otherwise it returns
+// immediately. Binaries (and TestMains) that coordinate shard runs with
+// the default self-exec worker command must call it before doing anything
+// else.
+func ShardWorkerMain() { shard.Main() }
+
 // LoadScenario reads a declarative sweep spec from a JSON or YAML file
 // (format autodetected from content) and validates it.
 func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
@@ -251,6 +278,9 @@ func (r *SweepResult) CompareSchemes(base, alt string) ([]SchemeDelta, error) {
 // scenarioRun accumulates RunScenario options.
 type scenarioRun struct {
 	workers  int
+	shards   int
+	sharded  bool
+	runner   Runner
 	device   *DeviceConfig
 	pred     *Predictor
 	sink     Sink
@@ -261,8 +291,26 @@ type scenarioRun struct {
 type ScenarioOption func(*scenarioRun)
 
 // ScenarioWorkers bounds the sweep's worker pool (<= 0: GOMAXPROCS).
-// Results are identical at any width.
+// Results are identical at any width. Under ScenarioShards this is the
+// pool width inside each worker process.
 func ScenarioWorkers(n int) ScenarioOption { return func(rc *scenarioRun) { rc.workers = n } }
+
+// ScenarioShards runs the sweep across n worker subprocesses (<= 0:
+// GOMAXPROCS) instead of in-process goroutines, with results and sink
+// telemetry byte-identical to the local runner. The calling binary must
+// call ShardWorkerMain at the top of main(); see NewShardRunner for spawn
+// details and ScenarioRunner to customize them.
+func ScenarioShards(n int) ScenarioOption {
+	return func(rc *scenarioRun) { rc.shards = n; rc.sharded = true }
+}
+
+// ScenarioRunner executes the sweep on a custom fleet Runner — e.g. a
+// NewShardRunner with an explicit worker Command. It overrides
+// ScenarioShards. A shard runner without a predictor is handed the sweep's
+// (supplied or self-trained) predictor automatically.
+func ScenarioRunner(r Runner) ScenarioOption {
+	return func(rc *scenarioRun) { rc.runner = r }
+}
 
 // ScenarioDevice sets the base device configuration the grid expands
 // against (default: DefaultDeviceConfig).
@@ -338,12 +386,28 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 			runSink = vs
 		}
 	}
-	fl := fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Workers:    rc.workers,
 		Seed:       spec.Seeds.Base,
 		OnProgress: rc.progress,
 		Sink:       runSink,
-	})
+	}
+	switch {
+	case rc.runner != nil:
+		fcfg.Runner = rc.runner
+	case rc.sharded:
+		fcfg.Runner = shard.New(rc.shards)
+	}
+	// A shard runner's workers must rebuild usta controllers from the same
+	// predictor this sweep expanded against, or sharded and local runs
+	// diverge. The caller's runner is never mutated (concurrent sweeps may
+	// share one); this sweep runs on a copy carrying its own predictor.
+	if sr, ok := fcfg.Runner.(*shard.Runner); ok && pred != nil {
+		srCopy := *sr
+		srCopy.Predictor = pred
+		fcfg.Runner = &srCopy
+	}
+	fl := fleet.New(fcfg)
 	results := fl.Run(ctx, grid.Jobs)
 	stats, err := analytics.Flatten(grid, results)
 	if err != nil {
