@@ -1,0 +1,154 @@
+package repro_test
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// stubRunner is a Runner that is neither the batch nor the shard runner.
+type stubRunner struct{}
+
+func (stubRunner) Run(ctx context.Context, cfg repro.FleetConfig, jobs []repro.Job) []repro.JobResult {
+	return make([]repro.JobResult, len(jobs))
+}
+
+// TestWithBatchedRunnerRejectsForeignRunner pins the conflict check:
+// combining WithBatchedRunner with a custom non-shard ScenarioRunner must
+// error instead of silently running unbatched.
+func TestWithBatchedRunnerRejectsForeignRunner(t *testing.T) {
+	spec, err := repro.LoadScenario(table1SpecPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repro.RunScenario(context.Background(), spec,
+		repro.ScenarioPredictor(scenarioPipeline().Predictor()),
+		repro.ScenarioRunner(stubRunner{}), repro.WithBatchedRunner())
+	if err == nil || !strings.Contains(err.Error(), "WithBatchedRunner") {
+		t.Fatalf("conflicting options gave err = %v, want a WithBatchedRunner conflict error", err)
+	}
+	// The compatible combinations stay accepted: an explicit batch runner…
+	res, err := repro.RunScenario(context.Background(), spec,
+		repro.ScenarioPredictor(scenarioPipeline().Predictor()),
+		repro.ScenarioRunner(repro.NewBatchRunner()), repro.WithBatchedRunner())
+	if err != nil {
+		t.Fatalf("explicit batch runner rejected: %v", err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	// …and a shard runner (whose copy gains batched workers).
+	res, err = repro.RunScenario(context.Background(), spec,
+		repro.ScenarioPredictor(scenarioPipeline().Predictor()),
+		repro.ScenarioRunner(repro.NewShardRunner(2)), repro.WithBatchedRunner())
+	if err != nil {
+		t.Fatalf("shard runner rejected: %v", err)
+	}
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchRunnerMatchesLocalTable1 is the cohort-batched engine's
+// acceptance test: the paper's Table 1 scenario through the lockstep
+// BatchRunner — traced and trace-free, at one worker and at GOMAXPROCS —
+// must be byte-identical to the in-process LocalRunner in every cell,
+// every retained per-job trace row, and the streamed telemetry.
+func TestBatchRunnerMatchesLocalTable1(t *testing.T) {
+	pred := scenarioPipeline().Predictor()
+
+	type run struct {
+		results []repro.JobResult
+		sink    *countingSink
+	}
+	exec := func(label string, traceFree bool, opts ...repro.ScenarioOption) run {
+		t.Helper()
+		spec, err := repro.LoadScenario(table1SpecPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.TraceFree = traceFree
+		cs := newCountingSink()
+		res, err := repro.RunScenario(context.Background(), spec,
+			append([]repro.ScenarioOption{repro.ScenarioPredictor(pred), repro.ScenarioSink(cs)}, opts...)...)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if err := res.FirstError(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return run{results: res.Results, sink: cs}
+	}
+
+	bits := math.Float64bits
+	requireEqual := func(label string, got, want run) {
+		t.Helper()
+		for i := range want.results {
+			g, w := got.results[i].Result, want.results[i].Result
+			if got.results[i].SeedUsed != want.results[i].SeedUsed ||
+				got.results[i].Name != want.results[i].Name {
+				t.Fatalf("%s: job %d identity diverged", label, i)
+			}
+			cells := [][2]float64{
+				{g.MaxSkinC, w.MaxSkinC}, {g.MaxScreenC, w.MaxScreenC},
+				{g.MaxDieC, w.MaxDieC}, {g.AvgFreqMHz, w.AvgFreqMHz},
+				{g.AvgUtil, w.AvgUtil}, {g.EnergyJ, w.EnergyJ},
+				{g.WorkDone, w.WorkDone}, {g.WorkDemanded, w.WorkDemanded},
+				{g.StartSoC, w.StartSoC}, {g.EndSoC, w.EndSoC},
+			}
+			for ci, c := range cells {
+				if bits(c[0]) != bits(c[1]) {
+					t.Fatalf("%s: job %d cell %d = %v, local %v", label, i, ci, c[0], c[1])
+				}
+			}
+			if (g.Trace == nil) != (w.Trace == nil) {
+				t.Fatalf("%s: job %d trace presence diverged", label, i)
+			}
+			if g.Trace != nil {
+				if g.Trace.Len() != w.Trace.Len() {
+					t.Fatalf("%s: job %d trace rows %d vs %d", label, i, g.Trace.Len(), w.Trace.Len())
+				}
+				for ti := range g.Trace.TimeSec {
+					if bits(g.Trace.TimeSec[ti]) != bits(w.Trace.TimeSec[ti]) {
+						t.Fatalf("%s: job %d time axis row %d diverged", label, i, ti)
+					}
+				}
+				for si, gs := range g.Trace.Series {
+					ws := w.Trace.Series[si]
+					for ri := range gs.Values {
+						if bits(gs.Values[ri]) != bits(ws.Values[ri]) {
+							t.Fatalf("%s: job %d trace %s row %d = %v, local %v",
+								label, i, gs.Name, ri, gs.Values[ri], ws.Values[ri])
+						}
+					}
+				}
+			}
+		}
+		for i := range want.results {
+			if got.sink.counts[i] != want.sink.counts[i] || got.sink.sums[i] != want.sink.sums[i] {
+				t.Fatalf("%s: job %d telemetry diverged: %d samples / sum %v, local %d / %v",
+					label, i, got.sink.counts[i], got.sink.sums[i], want.sink.counts[i], want.sink.sums[i])
+			}
+			if want.sink.counts[i] == 0 {
+				t.Fatalf("job %d delivered no samples", i)
+			}
+		}
+	}
+
+	for _, traceFree := range []bool{false, true} {
+		mode := "traced"
+		if traceFree {
+			mode = "trace-free"
+		}
+		ref := exec("local "+mode, traceFree, repro.ScenarioWorkers(1))
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			got := exec("batched "+mode, traceFree,
+				repro.ScenarioWorkers(workers), repro.WithBatchedRunner())
+			requireEqual(mode+" batched", got, ref)
+		}
+	}
+}

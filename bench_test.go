@@ -355,14 +355,33 @@ func BenchmarkFleetRun(b *testing.B) {
 	}
 	// Trace-free variant: the memory diet for population sweeps that only
 	// consume aggregates (identical physics, no Trace/Records retention).
+	free := make([]repro.Job, len(jobs))
+	copy(free, jobs)
+	for i := range free {
+		free[i].TraceFree = true
+	}
 	b.Run("workers-1-tracefree", func(b *testing.B) {
-		free := make([]repro.Job, len(jobs))
-		copy(free, jobs)
-		for i := range free {
-			free[i].TraceFree = true
-		}
 		b.ReportAllocs()
 		runBatch(b, 1, free)
+	})
+	// Cohort-batched lockstep engine (trace-free, same jobs): the whole
+	// batch shares one device configuration and duration, so it advances as
+	// one cohort with a fused mat-mat per tick. Reported against
+	// workers-1-tracefree, this is the batching speedup.
+	b.Run("batched", func(b *testing.B) {
+		fl := repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 42, Runner: repro.NewBatchRunner()})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := fl.Run(ctx, free)
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(free))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 	})
 }
 

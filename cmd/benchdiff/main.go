@@ -177,7 +177,10 @@ func matchNames(seed, pr metrics) map[string]string {
 
 // compare prints per-metric deltas for metrics present in both runs and
 // returns the number of regressions beyond the threshold. Lower-is-better
-// units: ns/op; higher-is-better: anything per second.
+// units: ns/op; higher-is-better: anything per second. PR benchmarks with
+// no baseline counterpart — the benches a perf PR introduces — are listed
+// as "new" informational lines rather than silently skipped, so they are
+// visible in CI diffs from the run that adds them.
 func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 	pairs := matchNames(seed, pr)
 	names := make([]string, 0, len(pairs))
@@ -185,13 +188,12 @@ func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Fprintln(out, "no common benchmarks between the two files")
-		return 0
-	}
-	regressions := 0
 	w := bufio.NewWriter(out)
 	defer w.Flush()
+	if len(names) == 0 {
+		fmt.Fprintln(w, "no common benchmarks between the two files")
+	}
+	regressions := 0
 	for _, name := range names {
 		prUnits := pr[pairs[name]]
 		for _, unit := range sortedUnits(seed[name]) {
@@ -212,6 +214,26 @@ func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 				regressions++
 			}
 			fmt.Fprintf(w, "%s%-50s %14s %14.4g → %-14.4g (%+.1f%%)\n", mark, name, unit, s, p, rel*100)
+		}
+	}
+	matchedPR := map[string]bool{}
+	for _, prName := range pairs {
+		matchedPR[prName] = true
+	}
+	var fresh []string
+	for name := range pr {
+		if !matchedPR[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		for _, unit := range sortedUnits(pr[name]) {
+			lowerBetter, rate := unitDirection(unit)
+			if !lowerBetter && !rate {
+				continue
+			}
+			fmt.Fprintf(w, "+ %-50s %14s %14s → %-14.4g (new, no baseline)\n", name, unit, "—", pr[name][unit])
 		}
 	}
 	return regressions

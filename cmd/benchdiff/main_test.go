@@ -97,3 +97,37 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Fatalf("regressions = %d want 0\n%s", n, out.String())
 	}
 }
+
+// TestCompareReportsNewBenchmarks pins the "new bench" path: a PR-side
+// benchmark missing from the seed shows up as an informational line, never
+// as a regression — and never errors out, even when nothing matches.
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	seed := metrics{
+		"BenchmarkFleetRun/workers-1": {"ns/op": 1e9, "jobs/sec": 900},
+	}
+	pr := metrics{
+		"BenchmarkFleetRun/workers-1": {"ns/op": 1e9, "jobs/sec": 905},
+		"BenchmarkFleetRun/batched":   {"ns/op": 5e8, "jobs/sec": 1800, "peak-C": 38.0},
+	}
+	var out strings.Builder
+	if n := compare(seed, pr, 0.25, &out); n != 0 {
+		t.Fatalf("new benchmark counted as regression:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "+ BenchmarkFleetRun/batched") || !strings.Contains(text, "new, no baseline") {
+		t.Fatalf("new benchmark not reported:\n%s", text)
+	}
+	if strings.Contains(text, "peak-C") {
+		t.Fatalf("domain metric of a new benchmark reported:\n%s", text)
+	}
+
+	// Disjoint files: the new-bench lines still print alongside the
+	// no-common-benchmarks note instead of erroring out.
+	out.Reset()
+	if n := compare(metrics{"BenchmarkGone": {"ns/op": 1}}, metrics{"BenchmarkNew": {"ns/op": 2}}, 0.25, &out); n != 0 {
+		t.Fatalf("disjoint compare flagged regressions:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no common benchmarks") || !strings.Contains(out.String(), "+ BenchmarkNew") {
+		t.Fatalf("disjoint compare output wrong:\n%s", out.String())
+	}
+}

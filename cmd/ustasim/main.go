@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/experiments"
@@ -38,17 +40,20 @@ func main() {
 	// serve the shard over stdin/stdout and exit before touching flags.
 	repro.ShardWorkerMain()
 	var (
-		exp       = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|replicate|all")
-		scenPath  = flag.String("scenario", "", "declarative sweep file (JSON or YAML); overrides -experiment")
-		jsonlPath = flag.String("jsonl", "", "stream every scenario sample to this JSONL file")
-		scale     = flag.Float64("scale", 1.0, "evaluation run duration scale (0,1]")
-		seed      = flag.Int64("seed", 42, "base seed for workload jitter and ML shuffling")
-		corpusSec = flag.Float64("corpus-sec", 0, "truncate each corpus run to this many seconds (0 = full)")
-		mlpEpochs = flag.Int("mlp-epochs", 0, "MLP training epochs for fig3 (0 = default 150)")
-		csvDir    = flag.String("csv", "", "directory to write fig4 trace CSVs or scenario aggregate CSVs (empty = no dump)")
-		repN      = flag.Int("n", 5, "replications for -experiment replicate")
-		workers   = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
-		shards    = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
+		exp        = flag.String("experiment", "all", "fig1|fig2|fig3|fig4|fig5|table1|replicate|all")
+		scenPath   = flag.String("scenario", "", "declarative sweep file (JSON or YAML); overrides -experiment")
+		jsonlPath  = flag.String("jsonl", "", "stream every scenario sample to this JSONL file")
+		scale      = flag.Float64("scale", 1.0, "evaluation run duration scale (0,1]")
+		seed       = flag.Int64("seed", 42, "base seed for workload jitter and ML shuffling")
+		corpusSec  = flag.Float64("corpus-sec", 0, "truncate each corpus run to this many seconds (0 = full)")
+		mlpEpochs  = flag.Int("mlp-epochs", 0, "MLP training epochs for fig3 (0 = default 150)")
+		csvDir     = flag.String("csv", "", "directory to write fig4 trace CSVs or scenario aggregate CSVs (empty = no dump)")
+		repN       = flag.Int("n", 5, "replications for -experiment replicate")
+		workers    = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
+		shards     = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
+		batch      = flag.Bool("batch", false, "run the scenario on the cohort-batched lockstep engine; results are identical, sweeps over shared device configs run faster")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
 
@@ -60,34 +65,120 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ustasim: -shards requires -scenario")
 		os.Exit(1)
 	}
+	if *batch && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -batch requires -scenario")
+		os.Exit(1)
+	}
 	if *jsonlPath != "" && *scenPath == "" {
 		fmt.Fprintln(os.Stderr, "ustasim: -jsonl requires -scenario")
 		os.Exit(1)
 	}
-	if *scenPath != "" {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ustasim:", err)
+		os.Exit(1)
+	}
+	opts := cliOptions{
+		experiment: *exp, scenPath: *scenPath, jsonlPath: *jsonlPath,
+		scale: *scale, seed: *seed, corpusSec: *corpusSec,
+		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
+		workers: *workers, shards: *shards, batch: *batch,
+	}
+	if err := realMain(opts); err != nil {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, "ustasim:", err)
+		os.Exit(1)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "ustasim:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts the optional CPU profile and returns a closer that
+// stops it and snapshots the heap profile. Profiling the whole command —
+// experiments or scenario sweeps alike — is what lets perf work measure
+// real sweeps without ad-hoc patches.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			cpuFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize retained-heap accounting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			memPath = ""
+		}
+		return nil
+	}, nil
+}
+
+// cliOptions carries the parsed flag values into realMain by value, so
+// the body reads plain fields instead of flag pointers.
+type cliOptions struct {
+	experiment string
+	scenPath   string
+	jsonlPath  string
+	scale      float64
+	seed       int64
+	corpusSec  float64
+	mlpEpochs  int
+	csvDir     string
+	repN       int
+	workers    int
+	shards     int
+	batch      bool
+}
+
+func realMain(o cliOptions) error {
+	if o.scenPath != "" {
 		// A scenario file carries its own scale, seeds and corpus policy;
 		// silently ignoring the experiment flags would make the user
 		// believe they applied.
+		var flagErr error
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "experiment", "scale", "seed", "corpus-sec", "mlp-epochs", "n":
-				fmt.Fprintf(os.Stderr, "ustasim: -%s is not supported with -scenario (set it in the spec)\n", f.Name)
-				os.Exit(1)
+				if flagErr == nil {
+					flagErr = fmt.Errorf("-%s is not supported with -scenario (set it in the spec)", f.Name)
+				}
 			}
 		})
-		if err := runScenario(*scenPath, *workers, *shards, *jsonlPath, *csvDir, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "ustasim:", err)
-			os.Exit(1)
+		if flagErr != nil {
+			return flagErr
 		}
-		return
+		return runScenario(o.scenPath, o.workers, o.shards, o.batch, o.jsonlPath, o.csvDir, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Seed = *seed
-	cfg.CorpusPerRunSec = *corpusSec
-	cfg.MLPEpochs = *mlpEpochs
-	cfg.Workers = *workers
+	cfg.Scale = o.scale
+	cfg.Seed = o.seed
+	cfg.CorpusPerRunSec = o.corpusSec
+	cfg.MLPEpochs = o.mlpEpochs
+	cfg.Workers = o.workers
 	pl := experiments.NewPipeline(cfg)
 
 	run := func(name string) error {
@@ -101,18 +192,18 @@ func main() {
 		case "fig4":
 			res := experiments.RunFig4(pl)
 			fmt.Println(res)
-			if *csvDir != "" {
-				if err := dumpFig4(res, *csvDir); err != nil {
+			if o.csvDir != "" {
+				if err := dumpFig4(res, o.csvDir); err != nil {
 					return err
 				}
-				fmt.Printf("traces written to %s\n", *csvDir)
+				fmt.Printf("traces written to %s\n", o.csvDir)
 			}
 		case "fig5":
 			fmt.Println(experiments.RunFig5(pl))
 		case "table1":
 			fmt.Println(experiments.RunTable1(pl))
 		case "replicate":
-			fmt.Println(experiments.ReplicateFig4(pl, *repN))
+			fmt.Println(experiments.ReplicateFig4(pl, o.repN))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -120,17 +211,17 @@ func main() {
 	}
 
 	var names []string
-	if *exp == "all" {
+	if o.experiment == "all" {
 		names = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table1"}
 	} else {
-		names = []string{*exp}
+		names = []string{o.experiment}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {
-			fmt.Fprintln(os.Stderr, "ustasim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 func dumpFig4(res *experiments.Fig4Result, dir string) error {

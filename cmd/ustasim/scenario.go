@@ -16,9 +16,10 @@ import (
 // scheme-vs-scheme deltas when the scheme axis has at least two entries.
 // An optional JSONL path streams every telemetry sample; an optional CSV
 // directory receives the aggregate tables. shards != 0 fans the grid out
-// across worker subprocesses (aggregates and streams are identical either
-// way).
-func runScenario(path string, workers, shards int, jsonlPath, csvDir string, out io.Writer) error {
+// across worker subprocesses, batch runs cohorts of grid cells in
+// lockstep on the batched engine — aggregates and streams are identical
+// under every combination.
+func runScenario(path string, workers, shards int, batch bool, jsonlPath, csvDir string, out io.Writer) error {
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -38,6 +39,9 @@ func runScenario(path string, workers, shards int, jsonlPath, csvDir string, out
 	}
 	if shards != 0 {
 		opts = append(opts, repro.ScenarioShards(shards))
+	}
+	if batch {
+		opts = append(opts, repro.WithBatchedRunner())
 	}
 	var jsonlFile *os.File
 	var jsonlSink repro.Sink

@@ -38,7 +38,7 @@ trace_free: true
 	csvDir := filepath.Join(dir, "out")
 
 	var out strings.Builder
-	if err := runScenario(specPath, 2, 0, jsonl, csvDir, &out); err != nil {
+	if err := runScenario(specPath, 2, 0, false, jsonl, csvDir, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -60,7 +60,7 @@ trace_free: true
 	jsonl2 := filepath.Join(dir, "samples_sharded.jsonl")
 	csvDir2 := filepath.Join(dir, "out_sharded")
 	var out2 strings.Builder
-	if err := runScenario(specPath, 2, 2, jsonl2, csvDir2, &out2); err != nil {
+	if err := runScenario(specPath, 2, 2, false, jsonl2, csvDir2, &out2); err != nil {
 		t.Fatalf("sharded run: %v", err)
 	}
 	data2, err := os.ReadFile(jsonl2)
@@ -93,14 +93,122 @@ trace_free: true
 	}
 
 	// Bad spec path and bad spec content both surface as errors.
-	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", "", &out); err == nil {
+	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, false, "", "", &out); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(bad, 1, 0, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+	if err := runScenario(bad, 1, 0, false, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
 		t.Fatalf("invalid spec error = %v", err)
+	}
+}
+
+// writeSmokeSpec writes the small two-axis sweep the smoke tests share.
+func writeSmokeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	specPath := filepath.Join(dir, "sweep.yaml")
+	spec := `
+version: 1
+name: smoke
+workloads: [skype, game]
+ambients_c: [25, 40]
+duration:
+  sec: 30
+trace_free: true
+`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return specPath
+}
+
+// TestRunScenarioBatchSmoke is the CLI half of the batched-engine
+// acceptance: `-batch` (alone and combined with `-shards`) must stream the
+// same number of samples and write byte-identical aggregate tables as the
+// default runner.
+func TestRunScenarioBatchSmoke(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSmokeSpec(t, dir)
+
+	type runOut struct {
+		samples int
+		tables  map[string]string
+	}
+	run := func(label string, shards int, batch bool) runOut {
+		t.Helper()
+		jsonl := filepath.Join(dir, label+".jsonl")
+		csvDir := filepath.Join(dir, label)
+		var out strings.Builder
+		if err := runScenario(specPath, 2, shards, batch, jsonl, csvDir, &out); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		data, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro := runOut{samples: strings.Count(string(data), "\n"), tables: map[string]string{}}
+		for _, f := range []string{"comfort.csv", "heatmap.csv"} {
+			tb, err := os.ReadFile(filepath.Join(csvDir, f))
+			if err != nil {
+				t.Fatalf("%s: aggregate %s not written: %v", label, f, err)
+			}
+			ro.tables[f] = string(tb)
+		}
+		return ro
+	}
+
+	local := run("local", 0, false)
+	if local.samples == 0 {
+		t.Fatal("local run streamed no samples")
+	}
+	for _, tc := range []struct {
+		label  string
+		shards int
+	}{{"batched", 0}, {"batched_sharded", 2}} {
+		got := run(tc.label, tc.shards, true)
+		if got.samples != local.samples {
+			t.Fatalf("%s streamed %d samples, local %d", tc.label, got.samples, local.samples)
+		}
+		for f, want := range local.tables {
+			if got.tables[f] != want {
+				t.Fatalf("%s aggregate %s differs from local:\n%s\nvs\n%s", tc.label, f, got.tables[f], want)
+			}
+		}
+	}
+}
+
+// TestProfileFlagsSmoke exercises -cpuprofile/-memprofile end to end: both
+// profiles must come out non-empty after a scenario run.
+func TestProfileFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSmokeSpec(t, dir)
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	stop, err := startProfiles(cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runScenario(specPath, 1, 0, true, "", "", &out); err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Idempotent stop: a second call must not fail or rewrite anything.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
 	}
 }

@@ -10,7 +10,6 @@ package device
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/battery"
 	"repro/internal/governor"
@@ -334,123 +333,42 @@ func (p *Phone) Run(w workload.Workload, dur float64) *RunResult {
 // between simulation steps, so cancellation or a deadline stops the run
 // within one StepSec of simulated progress. On early stop it returns the
 // partial result aggregated over the steps that did execute, together with
-// the context's error.
+// the context's error. The loop body lives in StepRun — the same ticks the
+// fleet's batched runner drives in lockstep.
 func (p *Phone) RunContext(ctx context.Context, w workload.Workload, dur float64) (*RunResult, error) {
-	if dur <= 0 || dur > w.Duration() {
-		dur = w.Duration()
-	}
-	res := &RunResult{
-		Workload: w.Name(),
-		Governor: p.gov.Name(),
-		DurSec:   dur,
-	}
-	dt := p.cfg.StepSec
-	steps := int(math.Round(dur / dt))
-	if !p.traceFree {
-		// Preallocate the row capacity the record period implies, so the
-		// hot loop never regrows a column.
-		rows := 0
-		if p.cfg.RecordPeriodSec > 0 {
-			rows = int(dur/p.cfg.RecordPeriodSec) + 2
-		}
-		res.Trace = trace.NewWithCap(rows,
-			"skin_c", "screen_c", "die_c", "battery_c",
-			"freq_mhz", "util", "max_level",
-		)
-	}
-	if p.ctrl != nil {
-		res.Ctrl = p.ctrl.Name()
-	}
-	res.MaxSkinC = p.SkinTempC()
-	res.MaxScreenC = p.ScreenTempC()
-	res.MaxDieC = p.DieTempC()
-	res.MaxBatteryC = p.net.Temp(p.nodes.Battery)
-	res.StartSoC = p.pack.SoC()
-
-	at := workload.SamplerOf(w) // per-run cursor: cheap monotone sampling
-	var freqSum, utilSum float64
-	lastRecord := -math.MaxFloat64
-	finalize := func(done int) {
-		if done > 0 {
-			res.AvgFreqMHz = freqSum / float64(done)
-			res.AvgUtil = utilSum / float64(done)
-		}
-		if done < steps { // cancelled: report actual simulated time
-			res.DurSec = float64(done) * dt
-		}
-		if !p.traceFree {
-			res.Records = p.logger.Records()
-		}
-		res.EndSoC = p.pack.SoC()
-	}
-	for i := 0; i < steps; i++ {
+	r := p.StartRun(w, dur)
+	for r.Done() < r.Steps() {
 		if err := ctx.Err(); err != nil {
-			finalize(i)
-			return res, err
+			return r.Finish(err)
 		}
-		demand := p.step(at, dt)
-
-		freq := p.cpu.FreqMHz()
-		freqSum += freq
-		utilSum += p.utilNow
-		res.EnergyJ += p.powerNowW * dt
-		capNow := p.cpu.CapacityMHz()
-		res.WorkDemanded += demand * dt
-		served := demand
-		if capNow < served {
-			served = capNow
-		}
-		res.WorkDone += served * dt
-
-		skin := p.net.Temp(p.nodes.CoverMid)
-		screen := p.net.Temp(p.nodes.Screen)
-		die := p.net.Temp(p.nodes.Die)
-		bat := p.net.Temp(p.nodes.Battery)
-		if skin > res.MaxSkinC {
-			res.MaxSkinC = skin
-		}
-		if screen > res.MaxScreenC {
-			res.MaxScreenC = screen
-		}
-		if die > res.MaxDieC {
-			res.MaxDieC = die
-		}
-		if bat > res.MaxBatteryC {
-			res.MaxBatteryC = bat
-		}
-		if p.timeSec-lastRecord+1e-9 >= p.cfg.RecordPeriodSec {
-			if res.Trace != nil {
-				res.Trace.Append(p.timeSec,
-					skin, screen, die, bat,
-					freq, p.utilNow, float64(p.cpu.MaxLevel()),
-				)
-			}
-			lastRecord = p.timeSec
-			if p.observer != nil {
-				p.observer(Sample{
-					TimeSec:  p.timeSec,
-					SkinC:    skin,
-					ScreenC:  screen,
-					DieC:     die,
-					BatteryC: bat,
-					FreqMHz:  freq,
-					Util:     p.utilNow,
-					MaxLevel: p.cpu.MaxLevel(),
-				})
-			}
-		}
+		r.PreStep()
+		p.net.Step(r.dt)
+		r.PostStep()
 	}
-	finalize(steps)
-	return res, nil
+	return r.Finish(nil)
 }
 
 // step advances one base tick, sampling the workload through the run's
 // sampler (a Cursored fast path when the workload offers one). It returns
 // the workload's CPU demand in aggregate core-MHz so RunContext can
-// account work without re-sampling the workload.
+// account work without re-sampling the workload. The tick is split around
+// the thermal integration — stepPre (demand, power injection, touch),
+// Network.Step, stepPost (clock, sensors, governor, controller) — so the
+// fleet's lockstep batch engine can advance many phones' thermal networks
+// with one fused kernel while running the exact same pre/post code per
+// phone.
 func (p *Phone) step(at func(float64) workload.Sample, dt float64) (demandMHz float64) {
-	sample := at(p.timeSec)
+	demand := p.stepPre(at(p.timeSec), dt)
+	p.net.Step(dt)
+	p.stepPost(dt)
+	return demand
+}
 
+// stepPre runs everything that precedes the tick's thermal integration:
+// workload demand → utilization, power computation and injection, battery
+// thermals, and hand-contact switching. It returns the workload's CPU
+// demand in aggregate core-MHz.
+func (p *Phone) stepPre(sample workload.Sample, dt float64) (demandMHz float64) {
 	// 1. Demand → utilization at the current operating point.
 	demand := sample.CPUFrac * p.cpu.MaxCapacityMHz()
 	capacity := p.cpu.CapacityMHz()
@@ -499,9 +417,13 @@ func (p *Phone) step(at func(float64) workload.Sample, dt float64) (demandMHz fl
 		p.touching = sample.Touch
 		thermal.ApplyTouch(p.net, p.nodes, p.cfg.Thermal, p.touching)
 	}
+	return demand
+}
 
-	// 4. Thermal integration.
-	p.net.Step(dt)
+// stepPost runs everything that follows the tick's thermal integration
+// (step 4, owned by the caller): the simulation clock, sensors and
+// logging, the governor sampling window, and the thermal controller.
+func (p *Phone) stepPost(dt float64) {
 	p.timeSec += dt
 
 	// 5. Sensors + logging. The lag filters advance every tick; the ADC
@@ -511,10 +433,10 @@ func (p *Phone) step(at func(float64) workload.Sample, dt float64) (demandMHz fl
 	p.batSensor.Advance(p.net.Temp(p.nodes.Battery), dt)
 	p.skinTherm.Advance(p.net.Temp(p.nodes.CoverMid), dt)
 	p.screenTherm.Advance(p.net.Temp(p.nodes.Screen), dt)
-	p.logger.Observe(p.timeSec, util, p.cpu.FreqMHz(), p.cpuSensor, p.batSensor, p.skinTherm, p.screenTherm)
+	p.logger.Observe(p.timeSec, p.utilNow, p.cpu.FreqMHz(), p.cpuSensor, p.batSensor, p.skinTherm, p.screenTherm)
 
 	// 6. Governor sampling window.
-	p.govWinUtil += util
+	p.govWinUtil += p.utilNow
 	p.govWinSamples++
 	if p.timeSec-p.lastGovSec+1e-9 >= p.cfg.GovernorPeriodSec {
 		avg := p.govWinUtil / float64(p.govWinSamples)
@@ -536,5 +458,4 @@ func (p *Phone) step(at func(float64) workload.Sample, dt float64) (demandMHz fl
 		p.ctrl.Act(p)
 		p.lastCtrlSec = p.timeSec
 	}
-	return demand
 }

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/thermal"
+)
+
+// DefaultBatchWidth bounds how many jobs of one cohort advance in a single
+// lockstep wave. A wave's per-tick working set is every member phone's hot
+// state; keeping it cache-sized beats maximal batching, and waves are also
+// the unit of parallelism across the worker pool.
+const DefaultBatchWidth = 32
+
+// BatchRunner is the cohort-batched lockstep Runner: it groups a batch's
+// jobs into cohorts that share a thermal propagator — keyed by the
+// device's conductance fingerprint, its base step and the run's tick count
+// — builds every cohort member's phone, and advances the whole cohort in
+// lockstep, tick by tick, replacing N per-phone 8×8 mat-vecs with one
+// fused mat-mat per tick (thermal.Lockstep). Per-phone work that cannot
+// batch — workload sampling, the governor window, sensors, battery,
+// logging — runs inside the lockstep loop through the same device.StepRun
+// ticks the local runner executes, so results, traces and streamed
+// telemetry are byte-identical to LocalRunner at any width or worker
+// count. Jobs whose thermal configuration mutates mid-run (touch flips)
+// regroup into per-propagator sub-cohorts each tick inside the Lockstep.
+//
+// Cohorts split into waves of at most Width jobs; waves fan out across
+// Config.Workers exactly like local jobs do. Jobs that cannot join a
+// cohort — nil workloads, invalid device configurations — degrade to the
+// local per-job path with identical errors. Cancellation degrades to
+// per-job context errors carrying each job's partial result, like the
+// local runner's.
+//
+// Batching pays off when many jobs share a device configuration and
+// duration (scenario grid sweeps: ambients, users, limits and schemes all
+// share propagators); a batch of all-distinct configurations degenerates
+// to single-job cohorts, which cost within noise of LocalRunner.
+type BatchRunner struct {
+	// Width caps jobs per lockstep wave (<= 0: DefaultBatchWidth).
+	Width int
+}
+
+// cohortKey groups jobs that can advance in lockstep: identical thermal
+// propagator source (conductance fingerprint of the freshly built device),
+// identical base tick, identical tick count.
+type cohortKey struct {
+	sig   uint64
+	dt    float64
+	steps int
+}
+
+// Run implements Runner.
+func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	pool := newPhonePool()
+	report := ResultReporter(cfg, len(jobs))
+	width := r.Width
+	if width <= 0 {
+		width = DefaultBatchWidth
+	}
+
+	// Probe each distinct device configuration once: one throwaway-free
+	// phone build yields the thermal fingerprint and lands in the pool for
+	// the first real job to recycle, so probing costs nothing extra.
+	type probeResult struct {
+		sig uint64
+		dt  float64
+		ok  bool
+	}
+	probes := map[*device.Config]probeResult{}
+	probe := func(key *device.Config) probeResult {
+		if pr, done := probes[key]; done {
+			return pr
+		}
+		devCfg := device.DefaultConfig()
+		if key != nil {
+			devCfg = *key
+		}
+		pr := probeResult{}
+		if ph, err := device.New(devCfg, nil); err == nil {
+			pr = probeResult{sig: ph.Network().Fingerprint(), dt: devCfg.StepSec, ok: true}
+			pool.put(key, ph)
+		}
+		probes[key] = pr
+		return pr
+	}
+
+	cohorts := map[cohortKey][]int{}
+	var keyOrder []cohortKey
+	var solo []int // jobs the local per-job path must handle (same errors)
+	for i := range jobs {
+		job := &jobs[i]
+		if job.Workload == nil {
+			solo = append(solo, i)
+			continue
+		}
+		pr := probe(job.Device)
+		if !pr.ok || pr.dt <= 0 {
+			solo = append(solo, i)
+			continue
+		}
+		dur := job.DurSec
+		if d := job.Workload.Duration(); dur <= 0 || dur > d {
+			dur = d
+		}
+		k := cohortKey{sig: pr.sig, dt: pr.dt, steps: int(math.Round(dur / pr.dt))}
+		if _, seen := cohorts[k]; !seen {
+			keyOrder = append(keyOrder, k)
+		}
+		cohorts[k] = append(cohorts[k], i)
+	}
+
+	var waves [][]int
+	for _, k := range keyOrder {
+		idxs := cohorts[k]
+		for start := 0; start < len(idxs); start += width {
+			end := start + width
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			waves = append(waves, idxs[start:end])
+		}
+	}
+
+	ForEach(len(waves)+len(solo), cfg.Workers, func(u int) {
+		if u < len(waves) {
+			runWave(ctx, &cfg, pool, jobs, waves[u], results, report)
+			return
+		}
+		i := solo[u-len(waves)]
+		results[i] = runJob(ctx, &cfg, pool, i, jobs[i])
+		report(results[i])
+	})
+	return results
+}
+
+// liveRun is one wave member mid-flight.
+type liveRun struct {
+	i     int
+	job   *Job
+	name  string
+	seed  int64
+	phone *device.Phone
+	run   *device.StepRun
+}
+
+// finishRun closes a live run with err, records and reports its result,
+// and returns the phone to the pool.
+func finishRun(cfg *Config, pool *phonePool, lr *liveRun, err error, results []JobResult, report func(JobResult)) {
+	res, rerr := lr.run.Finish(err)
+	jr := JobResult{Index: lr.i, Name: lr.name, User: lr.job.User, SeedUsed: lr.seed, Result: res, Err: rerr}
+	results[lr.i] = jr
+	report(jr)
+	pool.put(lr.job.Device, lr.phone)
+}
+
+// soloTicks drives one live run to completion without a lockstep — the
+// degradation path when a wave cannot form one (and the finisher for the
+// defensive step-count mismatch).
+func soloTicks(ctx context.Context, cfg *Config, pool *phonePool, lr *liveRun, results []JobResult, report func(JobResult)) {
+	net := lr.phone.Network()
+	dt := lr.run.Dt()
+	for lr.run.Done() < lr.run.Steps() {
+		if err := ctx.Err(); err != nil {
+			finishRun(cfg, pool, lr, err, results, report)
+			return
+		}
+		lr.run.PreStep()
+		net.Step(dt)
+		lr.run.PostStep()
+	}
+	finishRun(cfg, pool, lr, nil, results, report)
+}
+
+// runWave executes one cohort wave in lockstep.
+func runWave(ctx context.Context, cfg *Config, pool *phonePool, jobs []Job, idxs []int, results []JobResult, report func(JobResult)) {
+	live := make([]liveRun, 0, len(idxs))
+	for _, i := range idxs {
+		job := &jobs[i]
+		jr := JobResult{Index: i, Name: job.Name, User: job.User}
+		if jr.Name == "" {
+			jr.Name = job.Workload.Name()
+		}
+		if err := ctx.Err(); err != nil {
+			jr.Err = err
+			results[i] = jr
+			report(jr)
+			continue
+		}
+		phone, seed, err := preparePhone(cfg, pool, i, job)
+		if err != nil {
+			jr.SeedUsed = seed
+			jr.Err = err
+			results[i] = jr
+			report(jr)
+			continue
+		}
+		live = append(live, liveRun{
+			i: i, job: job, name: jr.Name, seed: seed, phone: phone,
+			run: phone.StartRun(job.Workload, job.DurSec),
+		})
+	}
+	if len(live) == 0 {
+		return
+	}
+	// The cohort key pins a common step count; treat any mismatch (a
+	// defensive impossibility) as a solo straggler rather than corrupting
+	// the lockstep.
+	steps := live[0].run.Steps()
+	lock := live[:0]
+	for li := range live {
+		if live[li].run.Steps() != steps {
+			soloTicks(ctx, cfg, pool, &live[li], results, report)
+			continue
+		}
+		lock = append(lock, live[li])
+	}
+	live = lock
+	if len(live) == 0 {
+		return
+	}
+	nets := make([]*thermal.Network, len(live))
+	for li := range live {
+		nets[li] = live[li].phone.Network()
+	}
+	ls, err := thermal.NewLockstep(nets)
+	if err != nil {
+		for li := range live {
+			soloTicks(ctx, cfg, pool, &live[li], results, report)
+		}
+		return
+	}
+	dt := live[0].run.Dt()
+	for tick := 0; tick < steps; tick++ {
+		if err := ctx.Err(); err != nil {
+			ls.Close()
+			for li := range live {
+				finishRun(cfg, pool, &live[li], err, results, report)
+			}
+			return
+		}
+		for li := range live {
+			live[li].run.PreStep()
+		}
+		ls.Step(dt)
+		for li := range live {
+			live[li].run.PostStep()
+		}
+	}
+	ls.Close()
+	for li := range live {
+		finishRun(cfg, pool, &live[li], nil, results, report)
+	}
+}

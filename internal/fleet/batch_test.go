@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/governor"
+	"repro/internal/sink"
+	"repro/internal/users"
+	"repro/internal/workload"
+)
+
+// batchTestJobs builds a population batch mixing workloads (with and
+// without touch phases, so cohorts split into sub-cohorts mid-run),
+// governors and users across a shared default device.
+func batchTestJobs(t *testing.T, traceFree bool) []Job {
+	t.Helper()
+	pop := users.StudyPopulation()
+	names := []string{"skype", "antutu-cpu", "youtube", "game"}
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		wl := workload.ByName(names[i%len(names)], uint64(i))
+		if wl == nil {
+			t.Fatalf("workload %q unknown", names[i%len(names)])
+		}
+		jobs[i] = Job{
+			Name:      names[i%len(names)],
+			User:      pop[i%len(pop)],
+			Workload:  wl,
+			DurSec:    40 + float64(i%3)*0, // same duration → one cohort per (sig, dt)
+			TraceFree: traceFree,
+		}
+		if i%2 == 1 {
+			jobs[i].Governor = func() governor.Governor { return governor.NewConservative(12) }
+		}
+	}
+	return jobs
+}
+
+// requireSameResults asserts got is byte-identical to want: every
+// aggregate, record and retained trace bit for bit.
+func requireSameResults(t *testing.T, label string, got, want []JobResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Index != w.Index || g.Name != w.Name || g.SeedUsed != w.SeedUsed {
+			t.Fatalf("%s: job %d identity diverged: %+v vs %+v", label, i, g, w)
+		}
+		if (g.Err == nil) != (w.Err == nil) {
+			t.Fatalf("%s: job %d error diverged: %v vs %v", label, i, g.Err, w.Err)
+		}
+		if g.Err != nil && g.Err.Error() != w.Err.Error() {
+			t.Fatalf("%s: job %d error text diverged: %q vs %q", label, i, g.Err, w.Err)
+		}
+		if (g.Result == nil) != (w.Result == nil) {
+			t.Fatalf("%s: job %d result presence diverged", label, i)
+		}
+		if g.Result == nil {
+			continue
+		}
+		gr, wr := g.Result, w.Result
+		scalars := [][2]float64{
+			{gr.MaxSkinC, wr.MaxSkinC}, {gr.MaxScreenC, wr.MaxScreenC},
+			{gr.MaxDieC, wr.MaxDieC}, {gr.MaxBatteryC, wr.MaxBatteryC},
+			{gr.AvgFreqMHz, wr.AvgFreqMHz}, {gr.AvgUtil, wr.AvgUtil},
+			{gr.EnergyJ, wr.EnergyJ}, {gr.WorkDone, wr.WorkDone},
+			{gr.WorkDemanded, wr.WorkDemanded}, {gr.DurSec, wr.DurSec},
+			{gr.StartSoC, wr.StartSoC}, {gr.EndSoC, wr.EndSoC},
+		}
+		for si, pair := range scalars {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("%s: job %d scalar %d diverged: %v vs %v", label, i, si, pair[0], pair[1])
+			}
+		}
+		if (gr.Trace == nil) != (wr.Trace == nil) {
+			t.Fatalf("%s: job %d trace presence diverged", label, i)
+		}
+		if gr.Trace != nil {
+			if gr.Trace.Len() != wr.Trace.Len() {
+				t.Fatalf("%s: job %d trace rows %d vs %d", label, i, gr.Trace.Len(), wr.Trace.Len())
+			}
+			for ci, gs := range gr.Trace.Series {
+				ws := wr.Trace.Series[ci]
+				for ri := range gs.Values {
+					if math.Float64bits(gs.Values[ri]) != math.Float64bits(ws.Values[ri]) {
+						t.Fatalf("%s: job %d trace %s row %d: %v vs %v",
+							label, i, gs.Name, ri, gs.Values[ri], ws.Values[ri])
+					}
+				}
+			}
+		}
+		if len(gr.Records) != len(wr.Records) {
+			t.Fatalf("%s: job %d records %d vs %d", label, i, len(gr.Records), len(wr.Records))
+		}
+		for ri := range gr.Records {
+			if gr.Records[ri] != wr.Records[ri] {
+				t.Fatalf("%s: job %d record %d diverged", label, i, ri)
+			}
+		}
+	}
+}
+
+// sumSink is an order-insensitive bit-exact fingerprint of a telemetry
+// stream (per-job delivery is FIFO on every runner).
+type sumSink struct {
+	mu     sync.Mutex
+	counts map[int]int
+	sums   map[int]float64
+}
+
+func newSumSink() *sumSink { return &sumSink{counts: map[int]int{}, sums: map[int]float64{}} }
+
+func (c *sumSink) Accept(job sink.JobID, s device.Sample) {
+	c.mu.Lock()
+	c.counts[int(job)]++
+	c.sums[int(job)] += s.SkinC + s.FreqMHz
+	c.mu.Unlock()
+}
+func (c *sumSink) Close() error { return nil }
+
+// TestBatchRunnerMatchesLocal pins the batched engine's whole contract:
+// traced and trace-free batches, with streamed telemetry, at several
+// worker counts and wave widths, byte-identical to LocalRunner.
+func TestBatchRunnerMatchesLocal(t *testing.T) {
+	for _, traceFree := range []bool{false, true} {
+		jobs := batchTestJobs(t, traceFree)
+		refSink := newSumSink()
+		ref := LocalRunner{}.Run(context.Background(),
+			Config{Workers: 1, Seed: 7, Sink: refSink}, jobs)
+		for _, tc := range []struct {
+			label   string
+			workers int
+			width   int
+		}{
+			{"batched w=1", 1, 0},
+			{"batched w=all", 0, 0},
+			{"batched width=1", 2, 1},
+			{"batched width=3", 2, 3},
+		} {
+			gotSink := newSumSink()
+			got := BatchRunner{Width: tc.width}.Run(context.Background(),
+				Config{Workers: tc.workers, Seed: 7, Sink: gotSink}, jobs)
+			label := tc.label
+			if traceFree {
+				label += " trace-free"
+			}
+			requireSameResults(t, label, got, ref)
+			for i := range jobs {
+				if gotSink.counts[i] != refSink.counts[i] || gotSink.sums[i] != refSink.sums[i] {
+					t.Fatalf("%s: job %d telemetry diverged: %d/%v vs %d/%v", label, i,
+						gotSink.counts[i], gotSink.sums[i], refSink.counts[i], refSink.sums[i])
+				}
+				if refSink.counts[i] == 0 {
+					t.Fatalf("job %d streamed no samples", i)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerSingleJobCohorts gives every job its own duration so each
+// cohort holds exactly one job — the degenerate shape must still match the
+// local runner.
+func TestBatchRunnerSingleJobCohorts(t *testing.T) {
+	jobs := batchTestJobs(t, false)[:4]
+	for i := range jobs {
+		jobs[i].DurSec = 20 + 5*float64(i)
+	}
+	ref := LocalRunner{}.Run(context.Background(), Config{Workers: 1, Seed: 3}, jobs)
+	got := BatchRunner{}.Run(context.Background(), Config{Workers: 2, Seed: 3}, jobs)
+	requireSameResults(t, "single-job cohorts", got, ref)
+}
+
+// TestBatchRunnerMixedDtAndDevices mixes device configurations with
+// different base steps and thermal parameters in one batch: cohorts must
+// split by (fingerprint, dt) and still match the local runner bit for bit.
+func TestBatchRunnerMixedDtAndDevices(t *testing.T) {
+	fast := device.DefaultConfig()
+	fast.StepSec = 0.025
+	hot := device.DefaultConfig()
+	hot.Thermal.ResAmbCoverMid *= 1.5
+	jobs := batchTestJobs(t, false)[:6]
+	jobs[1].Device = &fast
+	jobs[3].Device = &fast
+	jobs[2].Device = &hot
+	jobs[5].Device = &hot
+	ref := LocalRunner{}.Run(context.Background(), Config{Workers: 1, Seed: 5}, jobs)
+	got := BatchRunner{}.Run(context.Background(), Config{Workers: 3, Seed: 5}, jobs)
+	requireSameResults(t, "mixed dt", got, ref)
+}
+
+// TestBatchRunnerTouchSplitsSubCohorts forces mid-run signature changes:
+// jobs running touch-phase workloads with different phase jitter flip
+// their propagators at different ticks, splitting the cohort per tick. A
+// paranoid double-check on top of TestBatchRunnerMatchesLocal (whose
+// workloads already touch): this one isolates a touch-heavy cohort.
+func TestBatchRunnerTouchSplitsSubCohorts(t *testing.T) {
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{
+			Workload: workload.ByName("game", uint64(100+i*17)),
+			DurSec:   45,
+		}
+	}
+	ref := LocalRunner{}.Run(context.Background(), Config{Workers: 1, Seed: 9}, jobs)
+	got := BatchRunner{}.Run(context.Background(), Config{Workers: 1, Seed: 9}, jobs)
+	requireSameResults(t, "touch sub-cohorts", got, ref)
+}
+
+// TestBatchRunnerPerJobErrors pins the degraded paths: nil workloads and
+// invalid device configurations fail per job with exactly the local
+// runner's errors while the rest of the batch completes.
+func TestBatchRunnerPerJobErrors(t *testing.T) {
+	bad := device.DefaultConfig()
+	bad.StepSec = -1
+	jobs := batchTestJobs(t, false)[:4]
+	jobs[1] = Job{}                 // no workload
+	jobs[2].Device = &bad           // invalid config
+	jobs[3].DurSec = jobs[0].DurSec // keep a real cohort of two
+	ref := LocalRunner{}.Run(context.Background(), Config{Workers: 1, Seed: 2}, jobs)
+	got := BatchRunner{}.Run(context.Background(), Config{Workers: 2, Seed: 2}, jobs)
+	requireSameResults(t, "per-job errors", got, ref)
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "no workload") {
+		t.Fatalf("nil-workload error = %v", got[1].Err)
+	}
+	if got[2].Err == nil || !strings.Contains(got[2].Err.Error(), "StepSec") {
+		t.Fatalf("bad-device error = %v", got[2].Err)
+	}
+}
+
+// cancelSink cancels a context after n accepted samples — a deterministic
+// mid-cohort cancellation trigger.
+type cancelSink struct {
+	mu     sync.Mutex
+	left   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelSink) Accept(sink.JobID, device.Sample) {
+	c.mu.Lock()
+	c.left--
+	if c.left == 0 {
+		c.cancel()
+	}
+	c.mu.Unlock()
+}
+func (c *cancelSink) Close() error { return nil }
+
+// TestBatchRunnerCancellation cancels mid-cohort (triggered from the
+// telemetry stream, so the lockstep is provably mid-flight): every
+// unfinished job must carry the context error with its partial result.
+func TestBatchRunnerCancellation(t *testing.T) {
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Workload: workload.ByName("antutu-cpu-90min", uint64(i))}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results := BatchRunner{}.Run(ctx,
+		Config{Workers: 2, Seed: 1, Sink: &cancelSink{left: 40, cancel: cancel}}, jobs)
+	cancelled := 0
+	for i, r := range results {
+		if r.Err != nil {
+			if r.Err != context.Canceled {
+				t.Fatalf("job %d failed with %v, want context.Canceled", i, r.Err)
+			}
+			if r.Result == nil {
+				t.Fatalf("job %d cancelled without a partial result", i)
+			}
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation marked no jobs")
+	}
+}
+
+// TestBatchRunnerPreCancelled runs an already-cancelled context: every job
+// reports the context error immediately, as with the local runner.
+func TestBatchRunnerPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := batchTestJobs(t, false)[:3]
+	results := BatchRunner{}.Run(ctx, Config{Seed: 1}, jobs)
+	for i, r := range results {
+		if r.Err != context.Canceled {
+			t.Fatalf("job %d err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}

@@ -257,8 +257,24 @@ func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) J
 		r.Err = err
 		return r
 	}
-	seed := EffectiveSeed(cfg.Seed, i, &job)
+	phone, seed, err := preparePhone(cfg, pool, i, &job)
 	r.SeedUsed = seed
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
+	pool.put(job.Device, phone)
+	return r
+}
+
+// preparePhone resolves job i's seed and builds (or recycles through the
+// batch pool) its fully configured phone: governor, controller, sink
+// observer and trace mode installed. Both the local and the batched runner
+// construct phones through this one function, so a batched job's physics
+// cannot drift from a local one's.
+func preparePhone(cfg *Config, pool *phonePool, i int, job *Job) (*device.Phone, int64, error) {
+	seed := EffectiveSeed(cfg.Seed, i, job)
 	var gov governor.Governor
 	if job.Governor != nil {
 		gov = job.Governor()
@@ -278,8 +294,7 @@ func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) J
 		var err error
 		phone, err = device.New(devCfg, gov)
 		if err != nil {
-			r.Err = err
-			return r
+			return nil, seed, err
 		}
 	}
 	if job.Controller != nil {
@@ -294,9 +309,7 @@ func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) J
 	if job.TraceFree {
 		phone.SetTraceFree(true)
 	}
-	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
-	pool.put(job.Device, phone)
-	return r
+	return phone, seed, nil
 }
 
 // DeriveSeed maps (base, index) to a device seed via a splitmix64 mix, the

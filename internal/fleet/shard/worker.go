@@ -117,7 +117,11 @@ func Serve(r io.Reader, w io.Writer) error {
 			os.Exit(3)
 		}
 	}
-	fleet.LocalRunner{}.Run(context.Background(), cfg, jobs)
+	var runner fleet.Runner = fleet.LocalRunner{}
+	if req.Batched {
+		runner = fleet.BatchRunner{}
+	}
+	runner.Run(context.Background(), cfg, jobs)
 	if resErr != nil {
 		return resErr
 	}

@@ -87,6 +87,11 @@ type ShardRequest struct {
 	// WantSamples asks the worker to forward every telemetry sample as a
 	// TypeSample frame tagged with the spec's global index.
 	WantSamples bool `json:"want_samples,omitempty"`
+	// Batched asks the worker to execute its shard on the cohort-batched
+	// lockstep runner (fleet.BatchRunner) instead of the per-job pool.
+	// Results are byte-identical either way; this is purely a throughput
+	// knob for shards whose jobs share device configurations.
+	Batched bool `json:"batched,omitempty"`
 }
 
 // SampleFrame is one telemetry point crossing the process boundary.

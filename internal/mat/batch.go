@@ -1,0 +1,134 @@
+package mat
+
+// This file is the batched kernel behind the thermal engine's cohort
+// advance: many independent state columns pushed through the same fused
+// affine map
+//
+//	out_c = a·x_c + b·y_c + u·s_c + v
+//
+// (a, b n×n row-major; u, v length-n vectors; s_c a per-column scalar).
+// MulAddVec is the single-column form — the exact per-step propagator
+// advance — and MulBatch is the register-blocked many-column form. The two
+// MUST stay bit-identical per column: the fleet's batched runner advances
+// cohorts with MulBatch while the local runner advances phones one at a
+// time with MulAddVec, and the batch engine's whole determinism contract
+// is that the two paths produce byte-equal trajectories. Every accumulator
+// in this file therefore follows the same scheme: four independent partial
+// sums striding the columns of a and b by four, combined as
+// (s0+s1)+(s2+s3), with s0 seeded by u[i]*s_c + v[i]. Keep the expression
+// shapes identical between the kernels — compilers fuse a*x + b*y
+// per-expression (FMA on arm64), so a reshaped expression is a different
+// rounding.
+
+// MulAddVec computes out = a·x + b·y + u*s + v for one n-vector column:
+// the fused dense advance of a linear time-invariant step. out must not
+// alias x or y. Slices may be longer than required; only the leading n
+// (n×n for a and b) elements are read.
+func MulAddVec(n int, a, b, u, v []float64, s float64, x, y, out []float64) {
+	for i := 0; i < n; i++ {
+		ar := a[i*n : i*n+n : i*n+n]
+		br := b[i*n : i*n+n : i*n+n]
+		// Four independent accumulators break the floating-point add
+		// dependency chain; single-column advances are latency-bound.
+		s0 := u[i]*s + v[i]
+		var s1, s2, s3 float64
+		j := 0
+		for ; j+3 < n; j += 4 {
+			s0 += ar[j]*x[j] + br[j]*y[j]
+			s1 += ar[j+1]*x[j+1] + br[j+1]*y[j+1]
+			s2 += ar[j+2]*x[j+2] + br[j+2]*y[j+2]
+			s3 += ar[j+3]*x[j+3] + br[j+3]*y[j+3]
+		}
+		for ; j < n; j++ {
+			s0 += ar[j]*x[j] + br[j]*y[j]
+		}
+		out[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// MulBatch computes outs[c] = a·xs[c] + b·ys[c] + u*s[c] + v for every
+// selected column c — one fused mat-mat over a batch of independent states
+// sharing one map. idx selects the columns to advance (nil: all of them),
+// which lets a caller keep persistent column views and advance arbitrary
+// sub-cohorts without rebuilding slices. Columns are register-blocked in
+// pairs so the coefficient loads amortize and the two columns' accumulator
+// chains interleave for instruction-level parallelism; n == 8 (the phone
+// thermal network) takes a fully unrolled bounds-check-free path. Each
+// column's result is bit-identical to MulAddVec on that column. outs[c]
+// must not alias xs[c] or ys[c]; len(s), len(xs), len(ys), len(outs) must
+// match.
+func MulBatch(n int, a, b, u, v, s []float64, xs, ys, outs [][]float64, idx []int) {
+	if len(xs) != len(s) || len(ys) != len(s) || len(outs) != len(s) {
+		panic("mat: MulBatch column counts disagree")
+	}
+	wide := n == 8 && len(a) >= 64 && len(b) >= 64 && len(u) >= 8 && len(v) >= 8
+	if idx == nil {
+		k := 0
+		if wide {
+			a8, b8 := (*[64]float64)(a), (*[64]float64)(b)
+			u8, v8 := (*[8]float64)(u), (*[8]float64)(v)
+			for ; k+1 < len(s); k += 2 {
+				mulPair8(a8, b8, u8, v8, s[k], s[k+1],
+					(*[8]float64)(xs[k]), (*[8]float64)(ys[k]), (*[8]float64)(outs[k]),
+					(*[8]float64)(xs[k+1]), (*[8]float64)(ys[k+1]), (*[8]float64)(outs[k+1]))
+			}
+		}
+		for ; k < len(s); k++ {
+			MulAddVec(n, a, b, u, v, s[k], xs[k], ys[k], outs[k])
+		}
+		return
+	}
+	k := 0
+	if wide {
+		a8, b8 := (*[64]float64)(a), (*[64]float64)(b)
+		u8, v8 := (*[8]float64)(u), (*[8]float64)(v)
+		for ; k+1 < len(idx); k += 2 {
+			c0, c1 := idx[k], idx[k+1]
+			mulPair8(a8, b8, u8, v8, s[c0], s[c1],
+				(*[8]float64)(xs[c0]), (*[8]float64)(ys[c0]), (*[8]float64)(outs[c0]),
+				(*[8]float64)(xs[c1]), (*[8]float64)(ys[c1]), (*[8]float64)(outs[c1]))
+		}
+	}
+	for ; k < len(idx); k++ {
+		c := idx[k]
+		MulAddVec(n, a, b, u, v, s[c], xs[c], ys[c], outs[c])
+	}
+}
+
+// mulPair8Go advances two 8-columns through the same map with interleaved
+// accumulator chains — the portable implementation behind mulPair8 (amd64
+// carries an SSE2 twin that computes one column per xmm lane). The
+// per-column arithmetic replays MulAddVec's n == 8 schedule exactly: s0
+// seeded with u[i]*s + v[i] then fed j = 0 and 4, s1..s3 starting from
+// zero fed j = 1..3 and 5..7, combined as (s0+s1)+(s2+s3).
+func mulPair8Go(a, b *[64]float64, u, v *[8]float64, sc0, sc1 float64,
+	x0, y0, o0, x1, y1, o1 *[8]float64) {
+	for i := 0; i < 8; i++ {
+		r := i * 8
+		a0, a1, a2, a3 := a[r], a[r+1], a[r+2], a[r+3]
+		b0, b1, b2, b3 := b[r], b[r+1], b[r+2], b[r+3]
+		p0 := u[i]*sc0 + v[i]
+		q0 := u[i]*sc1 + v[i]
+		var p1, p2, p3, q1, q2, q3 float64
+		p0 += a0*x0[0] + b0*y0[0]
+		q0 += a0*x1[0] + b0*y1[0]
+		p1 += a1*x0[1] + b1*y0[1]
+		q1 += a1*x1[1] + b1*y1[1]
+		p2 += a2*x0[2] + b2*y0[2]
+		q2 += a2*x1[2] + b2*y1[2]
+		p3 += a3*x0[3] + b3*y0[3]
+		q3 += a3*x1[3] + b3*y1[3]
+		a0, a1, a2, a3 = a[r+4], a[r+5], a[r+6], a[r+7]
+		b0, b1, b2, b3 = b[r+4], b[r+5], b[r+6], b[r+7]
+		p0 += a0*x0[4] + b0*y0[4]
+		q0 += a0*x1[4] + b0*y1[4]
+		p1 += a1*x0[5] + b1*y0[5]
+		q1 += a1*x1[5] + b1*y1[5]
+		p2 += a2*x0[6] + b2*y0[6]
+		q2 += a2*x1[6] + b2*y1[6]
+		p3 += a3*x0[7] + b3*y0[7]
+		q3 += a3*x1[7] + b3*y1[7]
+		o0[i] = (p0 + p1) + (p2 + p3)
+		o1[i] = (q0 + q1) + (q2 + q3)
+	}
+}

@@ -1,0 +1,32 @@
+//go:build amd64
+
+package mat
+
+// mulPair8SSE is the packed-double form of mulPair8Go: each xmm lane
+// carries one column, every packed multiply/add applies the identical
+// IEEE-754 double operation to both lanes in the exact per-column order
+// of the scalar schedule, so results stay bit-for-bit equal to MulAddVec
+// per column (TestMulPair8AsmMatchesGo pins it against the portable
+// twin). Packing halves the arithmetic-port pressure the scalar kernel
+// saturates. It uses MOVDDUP (SSE3) for coefficient broadcasts.
+//
+//go:noescape
+func mulPair8SSE(a, b *[64]float64, u, v *[8]float64, sc0, sc1 float64,
+	x0, y0, o0, x1, y1, o1 *[8]float64)
+
+// sse3Supported reports MOVDDUP availability (CPUID.1:ECX bit 0). Every
+// amd64 CPU since ~2004 has it; the check keeps the SSE2-only baseline
+// honest.
+func sse3Supported() bool
+
+var useSSE3 = sse3Supported()
+
+// mulPair8 dispatches to the packed kernel when the CPU supports it.
+func mulPair8(a, b *[64]float64, u, v *[8]float64, sc0, sc1 float64,
+	x0, y0, o0, x1, y1, o1 *[8]float64) {
+	if useSSE3 {
+		mulPair8SSE(a, b, u, v, sc0, sc1, x0, y0, o0, x1, y1, o1)
+		return
+	}
+	mulPair8Go(a, b, u, v, sc0, sc1, x0, y0, o0, x1, y1, o1)
+}

@@ -1,0 +1,113 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// mulPair8SSE advances two 8-element state columns through the fused
+// affine map out = a·x + b·y + u*s + v with packed doubles: lane 0 of
+// every xmm register carries column 0, lane 1 column 1. Each packed op
+// performs the same IEEE-754 double operation on both lanes, and the
+// instruction order replays the scalar 4-accumulator schedule of
+// MulAddVec exactly (s0 = u*s + v, then j and j+4 feeding accumulator
+// j%4, combined as (s0+s1)+(s2+s3)), so every lane is bit-identical to
+// the scalar kernel. The two x columns are preloaded into X7–X14 once and
+// reused by all eight rows; coefficient broadcasts use MOVDDUP from
+// memory (a pure load on modern cores — no shuffle-port pressure), which
+// is SSE3: callers must check sse3Supported and fall back to mulPair8Go.
+
+// STEP accumulates a[off]·x(j) + b[off]·y(j) into acc, with x(j) held in
+// xreg and y(j) gathered as [y0[j], y1[j]]:
+//   X4 = bcast a[off]; X4 = a·x; X5 = bcast b[off]; X6 = [y0,y1];
+//   X5 = b·y; X4 = a·x + b·y; acc += X4
+// matching the scalar "acc += ar[j]*x[j] + br[j]*y[j]".
+#define STEP(off, xreg, acc) \
+	MOVDDUP off(SI), X4    \
+	MULPD   xreg, X4       \
+	MOVDDUP off(DI), X5    \
+	MOVSD   off(R12), X6   \
+	MOVHPD  off(R13), X6   \
+	MULPD   X6, X5         \
+	ADDPD   X5, X4         \
+	ADDPD   X4, acc
+
+// func mulPair8SSE(a, b *[64]float64, u, v *[8]float64, sc0, sc1 float64, x0, y0, o0, x1, y1, o1 *[8]float64)
+TEXT ·mulPair8SSE(SB), NOSPLIT, $0-96
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ u+16(FP), R8
+	MOVQ v+24(FP), R9
+
+	// X15 = [sc0, sc1]
+	MOVSD  sc0+32(FP), X15
+	MOVHPD sc1+40(FP), X15
+
+	MOVQ x0+48(FP), R10
+	MOVQ y0+56(FP), R12
+	MOVQ o0+64(FP), R14
+	MOVQ x1+72(FP), R11
+	MOVQ y1+80(FP), R13
+	MOVQ o1+88(FP), R15
+
+	// Preload the x column pair: X7..X14 = [x0[j], x1[j]] for j = 0..7.
+	MOVSD  0(R10), X7
+	MOVHPD 0(R11), X7
+	MOVSD  8(R10), X8
+	MOVHPD 8(R11), X8
+	MOVSD  16(R10), X9
+	MOVHPD 16(R11), X9
+	MOVSD  24(R10), X10
+	MOVHPD 24(R11), X10
+	MOVSD  32(R10), X11
+	MOVHPD 32(R11), X11
+	MOVSD  40(R10), X12
+	MOVHPD 40(R11), X12
+	MOVSD  48(R10), X13
+	MOVHPD 48(R11), X13
+	MOVSD  56(R10), X14
+	MOVHPD 56(R11), X14
+
+	MOVQ $8, CX
+
+row:
+	// s0 = u[i]*[sc0,sc1] + v[i]; s1 = s2 = s3 = 0
+	MOVDDUP (R8), X0
+	MULPD   X15, X0
+	MOVDDUP (R9), X4
+	ADDPD   X4, X0
+	XORPS   X1, X1
+	XORPS   X2, X2
+	XORPS   X3, X3
+
+	STEP(0, X7, X0)
+	STEP(8, X8, X1)
+	STEP(16, X9, X2)
+	STEP(24, X10, X3)
+	STEP(32, X11, X0)
+	STEP(40, X12, X1)
+	STEP(48, X13, X2)
+	STEP(56, X14, X3)
+
+	// out = (s0+s1) + (s2+s3); low lane -> o0[i], high lane -> o1[i]
+	ADDPD    X1, X0
+	ADDPD    X3, X2
+	ADDPD    X2, X0
+	MOVSD    X0, (R14)
+	UNPCKHPD X0, X0
+	MOVSD    X0, (R15)
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R14
+	ADDQ $8, R15
+	DECQ CX
+	JNZ  row
+	RET
+
+// func sse3Supported() bool
+TEXT ·sse3Supported(SB), NOSPLIT, $0-1
+	MOVL  $1, AX
+	CPUID
+	TESTL $1, CX
+	SETNE ret+0(FP)
+	RET

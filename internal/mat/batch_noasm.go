@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package mat
+
+// mulPair8 dispatches to the portable pair kernel on architectures
+// without an assembly twin.
+func mulPair8(a, b *[64]float64, u, v *[8]float64, sc0, sc1 float64,
+	x0, y0, o0, x1, y1, o1 *[8]float64) {
+	mulPair8Go(a, b, u, v, sc0, sc1, x0, y0, o0, x1, y1, o1)
+}

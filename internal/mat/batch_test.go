@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refAdvance is an order-naive reference of the fused map out = a·x + b·y +
+// u*s + v, used only to pin MulAddVec's value to within rounding slack.
+func refAdvance(n int, a, b, u, v []float64, s float64, x, y []float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		acc := u[i]*s + v[i]
+		for j := 0; j < n; j++ {
+			acc += a[i*n+j]*x[j] + b[i*n+j]*y[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 50
+	}
+	return out
+}
+
+// TestMulAddVecMatchesReference checks the 4-accumulator kernel against the
+// naive sum within rounding tolerance across sizes (including the n = 8
+// phone case and the j-tail sizes around it).
+func TestMulAddVecMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 13} {
+		a, b := randSlice(rng, n*n), randSlice(rng, n*n)
+		u, v := randSlice(rng, n), randSlice(rng, n)
+		x, y := randSlice(rng, n), randSlice(rng, n)
+		s := rng.NormFloat64()
+		out := make([]float64, n)
+		MulAddVec(n, a, b, u, v, s, x, y, out)
+		want := refAdvance(n, a, b, u, v, s, x, y)
+		for i := range out {
+			if d := math.Abs(out[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d out[%d] = %v, reference %v (Δ %g)", n, i, out[i], want[i], d)
+			}
+		}
+	}
+}
+
+// TestMulBatchBitIdenticalToMulAddVec is the contract the fleet's batched
+// runner stands on: every column of the pair-blocked batch kernel must be
+// bit-for-bit the single-column advance, including signed zeros, exact
+// cancellations and denormals. Odd column counts exercise the scalar tail.
+func TestMulBatchBitIdenticalToMulAddVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	adversarial := func(xs []float64) {
+		// Sprinkle values that expose order- and zero-sensitivity.
+		specials := []float64{0, math.Copysign(0, -1), 1e-310, -1e-310, 1e300, -1e300}
+		for i := range xs {
+			if rng.Intn(3) == 0 {
+				xs[i] = specials[rng.Intn(len(specials))]
+			}
+		}
+	}
+	for _, n := range []int{3, 8} {
+		for _, cols := range []int{1, 2, 3, 5, 8, 17} {
+			a, b := randSlice(rng, n*n), randSlice(rng, n*n)
+			u, v := randSlice(rng, n), randSlice(rng, n)
+			adversarial(a)
+			adversarial(b)
+			s := randSlice(rng, cols)
+			xs := make([][]float64, cols)
+			ys := make([][]float64, cols)
+			outs := make([][]float64, cols)
+			wants := make([][]float64, cols)
+			for c := 0; c < cols; c++ {
+				xs[c] = randSlice(rng, n)
+				ys[c] = randSlice(rng, n)
+				adversarial(xs[c])
+				adversarial(ys[c])
+				outs[c] = make([]float64, n)
+				wants[c] = make([]float64, n)
+				MulAddVec(n, a, b, u, v, s[c], xs[c], ys[c], wants[c])
+			}
+			MulBatch(n, a, b, u, v, s, xs, ys, outs, nil)
+			for c := 0; c < cols; c++ {
+				for i := 0; i < n; i++ {
+					if math.Float64bits(outs[c][i]) != math.Float64bits(wants[c][i]) {
+						t.Fatalf("n=%d cols=%d: column %d element %d = %x, single-column %x",
+							n, cols, c, i,
+							math.Float64bits(outs[c][i]), math.Float64bits(wants[c][i]))
+					}
+				}
+			}
+			// The idx path (sub-cohort advance) must agree with the full
+			// pass on the selected columns and leave the rest untouched.
+			sel := make([]int, 0, cols)
+			for c := 0; c < cols; c += 2 {
+				sel = append(sel, c)
+			}
+			outsIdx := make([][]float64, cols)
+			for c := range outsIdx {
+				outsIdx[c] = make([]float64, n)
+				for i := range outsIdx[c] {
+					outsIdx[c][i] = -12345
+				}
+			}
+			MulBatch(n, a, b, u, v, s, xs, ys, outsIdx, sel)
+			for c := 0; c < cols; c++ {
+				selected := c%2 == 0
+				for i := 0; i < n; i++ {
+					if selected && math.Float64bits(outsIdx[c][i]) != math.Float64bits(wants[c][i]) {
+						t.Fatalf("idx path: n=%d cols=%d column %d element %d diverged", n, cols, c, i)
+					}
+					if !selected && outsIdx[c][i] != -12345 {
+						t.Fatalf("idx path wrote to unselected column %d", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulPair8AsmMatchesGo pins the platform pair kernel (SSE2 on amd64)
+// against the portable Go twin bit for bit, including signed zeros,
+// denormals and huge magnitudes. On architectures without an assembly
+// kernel the two are the same function and this trivially passes.
+func TestMulPair8AsmMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	specials := []float64{0, math.Copysign(0, -1), 1e-310, -1e-310, 1e300, -1e300, 1, -1}
+	fill := func(xs []float64) {
+		for i := range xs {
+			if rng.Intn(4) == 0 {
+				xs[i] = specials[rng.Intn(len(specials))]
+			} else {
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		var a, b [64]float64
+		var u, v, x0, y0, x1, y1, oAsm0, oAsm1, oGo0, oGo1 [8]float64
+		fill(a[:])
+		fill(b[:])
+		fill(u[:])
+		fill(v[:])
+		fill(x0[:])
+		fill(y0[:])
+		fill(x1[:])
+		fill(y1[:])
+		sc0, sc1 := rng.NormFloat64(), rng.NormFloat64()
+		mulPair8(&a, &b, &u, &v, sc0, sc1, &x0, &y0, &oAsm0, &x1, &y1, &oAsm1)
+		mulPair8Go(&a, &b, &u, &v, sc0, sc1, &x0, &y0, &oGo0, &x1, &y1, &oGo1)
+		for i := 0; i < 8; i++ {
+			if math.Float64bits(oAsm0[i]) != math.Float64bits(oGo0[i]) ||
+				math.Float64bits(oAsm1[i]) != math.Float64bits(oGo1[i]) {
+				t.Fatalf("trial %d element %d: asm (%x,%x) vs go (%x,%x)", trial, i,
+					math.Float64bits(oAsm0[i]), math.Float64bits(oAsm1[i]),
+					math.Float64bits(oGo0[i]), math.Float64bits(oGo1[i]))
+			}
+		}
+	}
+}
+
+// TestMulBatchShapeMismatchPanics pins the column-count guard.
+func TestMulBatchShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulBatch with mismatched column counts did not panic")
+		}
+	}()
+	MulBatch(2, make([]float64, 4), make([]float64, 4), make([]float64, 2), make([]float64, 2),
+		[]float64{1, 2}, [][]float64{{1, 2}}, [][]float64{{1, 2}}, [][]float64{{0, 0}}, nil)
+}

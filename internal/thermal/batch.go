@@ -1,0 +1,237 @@
+package thermal
+
+// This file is the cohort-batched lockstep engine: many same-shape
+// networks advanced tick by tick with one fused mat-mat per propagator
+// group instead of one mat-vec per network. The fleet's BatchRunner builds
+// a Lockstep over the thermal networks of a cohort of phones, drives the
+// per-phone (workload, governor, sensor) work itself, and calls Step once
+// per tick. Trajectories are bit-identical to stepping each network alone:
+// the batch kernel (mat.MulBatch) replays the single-column accumulation
+// order exactly, and networks that cannot use a propagator this tick — a
+// degenerate configuration or a forced-RK4 network — fall back to their
+// ordinary integrator on their own borrowed column.
+
+import "fmt"
+
+// StateBlock is shared column-major storage for the mutable state of many
+// equally-sized networks: three n×cols planes (temperatures, injected
+// powers, integrator scratch) with column c of each plane occupying
+// [c*n, (c+1)*n). Networks borrow their columns via Network.Gather, which
+// keeps a cohort's state contiguous for the batched advance.
+type StateBlock struct {
+	n     int
+	cols  int
+	temps []float64
+	power []float64
+	tmp   []float64
+}
+
+// NewStateBlock allocates a block for cols networks of n nodes each.
+func NewStateBlock(n, cols int) *StateBlock {
+	if n <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("thermal: invalid state block %d×%d", n, cols))
+	}
+	// One backing allocation, planes sliced out of it: the advance streams
+	// temps, power and tmp together, so keeping them in one arena keeps a
+	// cohort's whole working set in adjacent cache lines.
+	data := make([]float64, 3*n*cols)
+	return &StateBlock{
+		n:     n,
+		cols:  cols,
+		temps: data[: n*cols : n*cols],
+		power: data[n*cols : 2*n*cols : 2*n*cols],
+		tmp:   data[2*n*cols:],
+	}
+}
+
+// column returns the three ln-length column views for column col.
+func (b *StateBlock) column(col, ln int) (temps, power, tmp []float64) {
+	if col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("thermal: state block column %d out of %d", col, b.cols))
+	}
+	off := col * b.n
+	return b.temps[off : off+ln : off+ln],
+		b.power[off : off+ln : off+ln],
+		b.tmp[off : off+ln : off+ln]
+}
+
+// advGroup is one tick's set of columns sharing a live propagator.
+type advGroup struct {
+	p   *propagator
+	idx []int // indices into Lockstep.nets
+}
+
+// Lockstep advances a set of equally-sized networks in lockstep, one tick
+// at a time. Construction gathers every network into a shared StateBlock;
+// each Step regroups the networks by their live propagator — networks
+// whose configuration changed mid-run (a touch flip) simply land in a
+// different sub-cohort that tick — and advances every group with one
+// batched kernel call. Close scatters the state back so the networks own
+// their storage again (fleet phone pooling depends on that).
+//
+// While a network is enrolled, advance it only through Step — never by
+// calling Network.Step directly. Step maintains a double-buffering
+// invariant across the whole cohort (every network's live temperatures sit
+// in the same plane of the block, alternating each tick), which is what
+// lets it reuse prebuilt column views instead of regathering slices every
+// tick; a direct Step would swap one network's buffers out of phase.
+type Lockstep struct {
+	nets []*Network
+	blk  *StateBlock
+
+	// colA/colB are prebuilt column views of the two state planes, pow of
+	// the power plane. parity selects the live plane: false means colA
+	// holds the current temperatures and colB receives the advance.
+	colA, colB, pow [][]float64
+	parity          bool
+
+	// Per-tick scratch, reused to keep Step allocation-free after the
+	// first tick.
+	amb    []float64
+	props  []*propagator
+	rk4    []int
+	groups []advGroup
+}
+
+// NewLockstep enrolls the networks into a fresh shared StateBlock. All
+// networks must have the same, nonzero node count.
+func NewLockstep(nets []*Network) (*Lockstep, error) {
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("thermal: lockstep over zero networks")
+	}
+	n := len(nets[0].temps)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	for i, net := range nets {
+		if len(net.temps) != n {
+			return nil, fmt.Errorf("thermal: lockstep network %d has %d nodes, want %d", i, len(net.temps), n)
+		}
+	}
+	ls := &Lockstep{
+		nets:  nets,
+		blk:   NewStateBlock(n, len(nets)),
+		colA:  make([][]float64, len(nets)),
+		colB:  make([][]float64, len(nets)),
+		pow:   make([][]float64, len(nets)),
+		amb:   make([]float64, len(nets)),
+		props: make([]*propagator, len(nets)),
+	}
+	for c, net := range nets {
+		net.Gather(ls.blk, c)
+		// Gather points the network at (temps, power, tmp) column views;
+		// mirror them here so ticks never rebuild slice headers.
+		ls.colA[c], ls.pow[c], ls.colB[c] = net.temps, net.power, net.tmp
+	}
+	return ls, nil
+}
+
+// Networks returns the enrolled networks in column order.
+func (ls *Lockstep) Networks() []*Network { return ls.nets }
+
+// Step advances every enrolled network by dt seconds, exactly as if each
+// had called Network.Step(dt) itself: per-network propagator resolution
+// (honoring dirty configurations, the per-network MRU and the shared LRU),
+// then one fused batched advance per distinct propagator, with RK4
+// fallback for networks that cannot use one this tick. The common case —
+// every network on the same propagator — is a single kernel call over the
+// whole block with no per-tick bookkeeping beyond the ambient refresh.
+func (ls *Lockstep) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	x, out := ls.colA, ls.colB
+	if ls.parity {
+		x, out = ls.colB, ls.colA
+	}
+	ls.rk4 = ls.rk4[:0]
+	split := false
+	var first *propagator
+	for c, n := range ls.nets {
+		ls.amb[c] = n.ambient
+		var p *propagator
+		if !n.forceRK4 {
+			if n.dirty {
+				n.refresh()
+			}
+			p = n.propagatorFor(dt)
+		}
+		ls.props[c] = p
+		if p == nil {
+			ls.rk4 = append(ls.rk4, c)
+			split = true
+		} else if first == nil {
+			first = p
+		} else if p != first {
+			split = true
+		}
+	}
+	switch {
+	case !split && first != nil:
+		first.advanceBatch(ls.blk.n, ls.amb, x, ls.pow, out, nil)
+	case first != nil:
+		ls.advanceGroups(x, out)
+	}
+	for _, c := range ls.rk4 {
+		// The fallback integrates in place in the live column; copying the
+		// result across restores the cohort-wide plane invariant before the
+		// swap below.
+		ls.nets[c].StepRK4(dt)
+		copy(out[c], x[c])
+	}
+	for _, n := range ls.nets {
+		n.temps, n.tmp = n.tmp, n.temps
+	}
+	ls.parity = !ls.parity
+}
+
+// advanceGroups handles a tick whose networks resolved to more than one
+// propagator (mid-run configuration flips): one batched kernel call per
+// distinct propagator over that sub-cohort's column indices.
+func (ls *Lockstep) advanceGroups(x, out [][]float64) {
+	for i := range ls.groups {
+		ls.groups[i].idx = ls.groups[i].idx[:0]
+	}
+	for c, p := range ls.props {
+		if p == nil {
+			continue
+		}
+		placed := false
+		for i := range ls.groups {
+			if ls.groups[i].p == p {
+				ls.groups[i].idx = append(ls.groups[i].idx, c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ls.groups = append(ls.groups, advGroup{p: p, idx: append(make([]int, 0, len(ls.nets)), c)})
+		}
+	}
+	for i := range ls.groups {
+		g := &ls.groups[i]
+		if len(g.idx) == 0 {
+			continue
+		}
+		g.p.advanceBatch(ls.blk.n, ls.amb, x, ls.pow, out, g.idx)
+	}
+	// Propagators come and go with configuration flips; drop groups that
+	// went quiet so a long-running sweep cannot accumulate stale entries.
+	if len(ls.groups) > 2*maxCachedPropagators {
+		live := ls.groups[:0]
+		for _, g := range ls.groups {
+			if len(g.idx) > 0 {
+				live = append(live, g)
+			}
+		}
+		ls.groups = live
+	}
+}
+
+// Close scatters every network's state back into its own storage and
+// releases the block. The Lockstep must not be stepped afterwards.
+func (ls *Lockstep) Close() {
+	for _, n := range ls.nets {
+		n.Scatter()
+	}
+}

@@ -1,0 +1,235 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// clonePhone builds n identical phone networks with distinct power/ambient
+// programs applied by the caller.
+func phones(n int) ([]*Network, []PhoneNodes) {
+	cfg := DefaultPhoneConfig()
+	nets := make([]*Network, n)
+	nodes := make([]PhoneNodes, n)
+	for i := range nets {
+		nets[i], nodes[i] = NewPhone(cfg)
+	}
+	return nets, nodes
+}
+
+// driveSolo replays the same (power, touch, ambient) program on a fresh
+// network via per-network Step, returning the final temperatures — the
+// reference the lockstep run must match bit for bit.
+func driveSolo(t *testing.T, steps int, program func(tick, i int, net *Network, nd PhoneNodes), count int, dt float64) [][]float64 {
+	t.Helper()
+	nets, nodes := phones(count)
+	for s := 0; s < steps; s++ {
+		for i, net := range nets {
+			program(s, i, net, nodes[i])
+			net.Step(dt)
+		}
+	}
+	out := make([][]float64, count)
+	for i, net := range nets {
+		out[i] = net.Temps(nil)
+	}
+	return out
+}
+
+// driveLockstep replays the identical program through a Lockstep.
+func driveLockstep(t *testing.T, steps int, program func(tick, i int, net *Network, nd PhoneNodes), count int, dt float64) [][]float64 {
+	t.Helper()
+	nets, nodes := phones(count)
+	ls, err := NewLockstep(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		for i, net := range nets {
+			program(s, i, net, nodes[i])
+		}
+		ls.Step(dt)
+	}
+	ls.Close()
+	out := make([][]float64, count)
+	for i, net := range nets {
+		out[i] = net.Temps(nil)
+	}
+	return out
+}
+
+func requireBitEqual(t *testing.T, label string, got, want [][]float64) {
+	t.Helper()
+	for i := range want {
+		for j := range want[i] {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("%s: network %d node %d = %v (%x), solo %v (%x)", label, i, j,
+					got[i][j], math.Float64bits(got[i][j]),
+					want[i][j], math.Float64bits(want[i][j]))
+			}
+		}
+	}
+}
+
+// TestLockstepBitIdenticalToSolo drives cohorts of several sizes (1 hits
+// the kernel's scalar tail, odd sizes hit pair + tail) through a program
+// with per-network power schedules and per-network ambients, and requires
+// final states bit-equal to per-network stepping.
+func TestLockstepBitIdenticalToSolo(t *testing.T) {
+	const dt = 0.05
+	for _, count := range []int{1, 2, 5, 8} {
+		program := func(tick, i int, net *Network, nd PhoneNodes) {
+			if tick == 0 {
+				net.SetAmbient(20 + float64(i))
+			}
+			net.SetPower(nd.Die, 1.5+0.5*float64(i)+0.1*float64(tick%7))
+			net.SetPower(nd.Screen, 0.4)
+		}
+		want := driveSolo(t, 201, program, count, dt)
+		got := driveLockstep(t, 201, program, count, dt)
+		requireBitEqual(t, "steady cohort", got, want)
+	}
+}
+
+// TestLockstepRegroupsOnTouchFlips flips hand contact on different
+// networks at different ticks — the live-signature divergence that splits
+// a cohort into sub-cohorts — and requires bit-equality throughout.
+func TestLockstepRegroupsOnTouchFlips(t *testing.T) {
+	const dt = 0.05
+	cfg := DefaultPhoneConfig()
+	program := func(tick, i int, net *Network, nd PhoneNodes) {
+		net.SetPower(nd.Die, 2.5)
+		// Network i toggles touch every 40+10*i ticks, desynchronizing the
+		// cohort's signatures.
+		period := 40 + 10*i
+		touching := (tick/period)%2 == 1
+		ApplyTouch(net, nd, cfg, touching)
+	}
+	want := driveSolo(t, 301, program, 4, dt)
+	got := driveLockstep(t, 301, program, 4, dt)
+	requireBitEqual(t, "touch flips", got, want)
+}
+
+// TestLockstepRK4FallbackMixed enrolls a forced-RK4 network alongside
+// propagator-driven ones: the fallback must integrate its own column while
+// the rest advance batched, and every network must match its solo run.
+func TestLockstepRK4FallbackMixed(t *testing.T) {
+	const dt = 0.05
+	program := func(tick, i int, net *Network, nd PhoneNodes) {
+		if tick == 0 && i == 1 {
+			net.UseRK4(true)
+		}
+		net.SetPower(nd.Die, 2.0)
+	}
+	want := driveSolo(t, 121, program, 3, dt)
+	got := driveLockstep(t, 121, program, 3, dt)
+	requireBitEqual(t, "rk4 mixed", got, want)
+}
+
+// TestGatherScatterRoundTrip pins the borrow protocol: state survives a
+// gather → step → scatter round trip, and a scattered network owns storage
+// independent of the block.
+func TestGatherScatterRoundTrip(t *testing.T) {
+	nets, nodes := phones(2)
+	nets[0].SetPower(nodes[0].Die, 3)
+	nets[1].SetPower(nodes[1].Die, 1)
+	before0 := nets[0].Temps(nil)
+	blk := NewStateBlock(nets[0].NumNodes(), 2)
+	nets[0].Gather(blk, 0)
+	nets[1].Gather(blk, 1)
+	if got := nets[0].Temps(nil); math.Float64bits(got[0]) != math.Float64bits(before0[0]) {
+		t.Fatalf("gather changed state: %v vs %v", got[0], before0[0])
+	}
+	nets[0].Step(0.05)
+	nets[1].Step(0.05)
+	afterStep := nets[0].Temps(nil)
+	nets[0].Scatter()
+	nets[1].Scatter()
+	if got := nets[0].Temps(nil); math.Float64bits(got[int(nodes[0].Die)]) != math.Float64bits(afterStep[int(nodes[0].Die)]) {
+		t.Fatal("scatter lost the stepped state")
+	}
+	// Mutating the block after scatter must not touch the network.
+	for i := range blk.temps {
+		blk.temps[i] = -1000
+	}
+	if nets[0].Temp(nodes[0].Die) == -1000 {
+		t.Fatal("scattered network still aliases the block")
+	}
+	// Double scatter is a no-op.
+	nets[0].Scatter()
+}
+
+// TestNewLockstepRejectsMismatchedNetworks pins the shape guard.
+func TestNewLockstepRejectsMismatchedNetworks(t *testing.T) {
+	a, _ := NewPhone(DefaultPhoneConfig())
+	b := NewNetwork(25)
+	b.AddNode("solo", 1, 25)
+	if _, err := NewLockstep([]*Network{a, b}); err == nil {
+		t.Fatal("mismatched node counts were accepted")
+	}
+	if _, err := NewLockstep(nil); err == nil {
+		t.Fatal("empty lockstep was accepted")
+	}
+}
+
+// TestPropLRUGetOrBuild pins the single-critical-section cache API: one
+// build per key, hits counted, nil builds not cached.
+func TestPropLRUGetOrBuild(t *testing.T) {
+	c := newPropLRU(4)
+	key := propKey{sig: 99, dt: 0.05}
+	builds := 0
+	build := func() *propagator { builds++; return &propagator{sig: 99, dt: 0.05} }
+	p1 := c.getOrBuild(key, build)
+	p2 := c.getOrBuild(key, build)
+	if p1 == nil || p1 != p2 {
+		t.Fatalf("getOrBuild returned distinct propagators: %p %p", p1, p2)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	hits, misses := c.stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// nil builds (degenerate configurations) are not cached: every lookup
+	// re-misses so the caller can keep falling back to RK4.
+	nilKey := propKey{sig: 100, dt: 0.05}
+	nilBuilds := 0
+	for i := 0; i < 2; i++ {
+		if p := c.getOrBuild(nilKey, func() *propagator { nilBuilds++; return nil }); p != nil {
+			t.Fatal("nil build produced a cached propagator")
+		}
+	}
+	if nilBuilds != 2 {
+		t.Fatalf("nil build ran %d times, want 2 (never cached)", nilBuilds)
+	}
+}
+
+// TestPropagatorForHitsSharedCacheOnce pins the fleet-relevant behaviour:
+// two networks with identical configurations share one matrix-exponential
+// build — the second network's local-cache miss is a shared-cache hit.
+func TestPropagatorForHitsSharedCacheOnce(t *testing.T) {
+	cfg := DefaultPhoneConfig()
+	// A distinctive dt keeps this test's key out of other tests' way.
+	const dt = 0.05 + 1e-9
+	h0, m0 := sharedProps.stats()
+	a, _ := NewPhone(cfg)
+	b, _ := NewPhone(cfg)
+	a.Step(dt)
+	b.Step(dt)
+	h1, m1 := sharedProps.stats()
+	if m1-m0 != 1 {
+		t.Fatalf("shared cache misses = %d, want exactly 1 build for two identical networks", m1-m0)
+	}
+	if h1-h0 != 1 {
+		t.Fatalf("shared cache hits = %d, want exactly 1 (second network reuses the build)", h1-h0)
+	}
+	// Subsequent steps are served by the per-network MRU: no new shared
+	// traffic at all.
+	a.Step(dt)
+	b.Step(dt)
+	h2, m2 := sharedProps.stats()
+	if h2 != h1 || m2 != m1 {
+		t.Fatalf("per-network MRU bypass failed: shared stats moved %d/%d → %d/%d", h1, m1, h2, m2)
+	}
+}

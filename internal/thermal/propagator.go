@@ -57,6 +57,10 @@ type propLRU struct {
 	max   int
 	m     map[propKey]*list.Element
 	order *list.List // front = most recently used
+
+	// hits/misses count getOrBuild outcomes (guarded by mu); the cache-hit
+	// unit tests read them via stats.
+	hits, misses uint64
 }
 
 // propEntry is one LRU element payload.
@@ -99,6 +103,44 @@ func (c *propLRU) put(key propKey, p *propagator) {
 	}
 }
 
+// getOrBuild returns the cached propagator for key, building and caching
+// it via build on a miss — one critical section for the whole
+// lookup-miss-insert sequence, so a miss costs a single lock round trip
+// (get-then-put took two) and two networks racing on the same key never
+// compute the matrix exponential twice. build runs under the lock; that is
+// deliberate: builds are rare (once per configuration × dt per process)
+// and serializing them is what provides the dedup. A nil build result
+// (degenerate configuration) is not cached, so callers retry — and fall
+// back to RK4 — on every miss.
+func (c *propLRU) getOrBuild(key propKey, build func() *propagator) *propagator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(propEntry).p
+	}
+	c.misses++
+	p := build()
+	if p == nil {
+		return nil
+	}
+	c.m[key] = c.order.PushFront(propEntry{key: key, p: p})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(propEntry).key)
+	}
+	return p
+}
+
+// stats reports the getOrBuild hit/miss counts.
+func (c *propLRU) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
 // len reports the current entry count.
 func (c *propLRU) len() int {
 	c.mu.Lock()
@@ -129,12 +171,9 @@ func (n *Network) propagatorFor(dt float64) *propagator {
 		}
 	}
 	key := propKey{sig: n.sig, dt: dt}
-	p := sharedProps.get(key)
+	p := sharedProps.getOrBuild(key, func() *propagator { return n.buildPropagator(dt) })
 	if p == nil {
-		if p = n.buildPropagator(dt); p == nil {
-			return nil
-		}
-		sharedProps.put(key, p)
+		return nil
 	}
 	if len(n.props) < maxCachedPropagators {
 		n.props = append(n.props, nil)
@@ -211,32 +250,20 @@ func (n *Network) buildPropagator(dt float64) *propagator {
 }
 
 // advance applies the propagator to the network state: one fused dense
-// mat-vec over the temperatures and the power vector. The state and
-// scratch slices are swapped instead of copied.
+// mat-vec over the temperatures and the power vector (mat.MulAddVec — the
+// same kernel the batched cohort advance replays per column, which is what
+// keeps lockstep runs bit-identical to solo ones). The state and scratch
+// slices are swapped instead of copied.
 func (p *propagator) advance(n *Network) {
-	temps, power, out := n.temps, n.power, n.tmp
-	ln := len(temps)
-	amb := n.ambient
-	pw := power[:ln]
-	a, w := p.a, p.w
-	for i := 0; i < ln; i++ {
-		ar := a[i*ln : i*ln+ln : i*ln+ln]
-		wr := w[i*ln : i*ln+ln : i*ln+ln]
-		// Four independent accumulators break the floating-point add
-		// dependency chain; ticks are latency-bound here.
-		s0 := p.vAmb[i]*amb + p.vFixed[i]
-		var s1, s2, s3 float64
-		j := 0
-		for ; j+3 < ln; j += 4 {
-			s0 += ar[j]*temps[j] + wr[j]*pw[j]
-			s1 += ar[j+1]*temps[j+1] + wr[j+1]*pw[j+1]
-			s2 += ar[j+2]*temps[j+2] + wr[j+2]*pw[j+2]
-			s3 += ar[j+3]*temps[j+3] + wr[j+3]*pw[j+3]
-		}
-		for ; j < ln; j++ {
-			s0 += ar[j]*temps[j] + wr[j]*pw[j]
-		}
-		out[i] = (s0 + s1) + (s2 + s3)
-	}
+	temps, out := n.temps, n.tmp
+	mat.MulAddVec(len(temps), p.a, p.w, p.vAmb, p.vFixed, n.ambient, temps, n.power, out)
 	n.temps, n.tmp = out, temps
+}
+
+// advanceBatch applies the propagator to a sub-cohort of state columns —
+// those selected by idx, or all of them when idx is nil — with one fused
+// mat-mat (mat.MulBatch). The caller (Lockstep) owns the column views and
+// the plane swap.
+func (p *propagator) advanceBatch(n int, amb []float64, xs, ys, outs [][]float64, idx []int) {
+	mat.MulBatch(n, p.a, p.w, p.vAmb, p.vFixed, amb, xs, ys, outs, idx)
 }
