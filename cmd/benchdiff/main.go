@@ -6,6 +6,13 @@
 //
 //	benchdiff BENCH_seed.json BENCH_pr.json
 //	benchdiff -threshold 0.3 -strict old.txt new.txt   # exit 1 on regression
+//	benchdiff -fail-on-regress 15 -match BenchmarkFleetRun old.txt new.txt
+//
+// -fail-on-regress puts a hard gate behind the warn-only default: any
+// benchmark whose name contains -match (empty: all) and regresses more
+// than the given percentage fails the run with exit 1, independent of
+// -strict. CI uses it to gate fleet-engine throughput while the rest of
+// the suite stays warn-only.
 //
 // Only time (ns/op) and rate (.../sec, .../s) metrics are compared; domain
 // metrics (peak-C, error rates) are anchored by tests, not by the diff.
@@ -28,9 +35,15 @@ type metrics map[string]map[string]float64
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "relative regression that triggers a warning (0.25 = 25%)")
 	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+	failPct := flag.Float64("fail-on-regress", 0, "hard gate in percent: exit 1 when a benchmark matching -match regresses more than this (0 = warn-only)")
+	match := flag.String("match", "", "substring restricting which benchmarks -fail-on-regress gates (empty = all)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-strict] SEED PR")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-strict] [-fail-on-regress pct [-match substr]] SEED PR")
+		os.Exit(2)
+	}
+	if *failPct < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fail-on-regress must be >= 0")
 		os.Exit(2)
 	}
 	seed, err := parseFile(flag.Arg(0))
@@ -44,7 +57,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressions := compare(seed, pr, *threshold, os.Stdout)
+	gate := gateSpec{pct: *failPct, match: *match}
+	regressions, gated := compare(seed, pr, *threshold, gate, os.Stdout)
+	if gated > 0 {
+		fmt.Printf("%d benchmark metric(s) matching %q regressed more than %.0f%%: failing the build\n", gated, *match, *failPct)
+		os.Exit(1)
+	}
 	if regressions > 0 {
 		fmt.Printf("%d benchmark metric(s) regressed more than %.0f%% vs the committed baseline\n", regressions, *threshold*100)
 		if *strict {
@@ -54,6 +72,23 @@ func main() {
 	} else {
 		fmt.Println("no benchmark regressions beyond the threshold")
 	}
+}
+
+// gateSpec is the -fail-on-regress hard gate: pct is the failure threshold
+// in percent (0 disables), match the benchmark-name substring it covers.
+type gateSpec struct {
+	pct   float64
+	match string
+}
+
+// covers reports whether a regression of rel (negative for rate drops) on
+// the named benchmark trips the gate.
+func (g gateSpec) covers(name string, rel float64, lowerBetter bool) bool {
+	if g.pct <= 0 || !strings.Contains(name, g.match) {
+		return false
+	}
+	lim := g.pct / 100
+	return (lowerBetter && rel > lim) || (!lowerBetter && rel < -lim)
 }
 
 // parseFile reads one `go test -bench` output file into metrics.
@@ -176,12 +211,13 @@ func matchNames(seed, pr metrics) map[string]string {
 }
 
 // compare prints per-metric deltas for metrics present in both runs and
-// returns the number of regressions beyond the threshold. Lower-is-better
-// units: ns/op; higher-is-better: anything per second. PR benchmarks with
-// no baseline counterpart — the benches a perf PR introduces — are listed
-// as "new" informational lines rather than silently skipped, so they are
-// visible in CI diffs from the run that adds them.
-func compare(seed, pr metrics, threshold float64, out io.Writer) int {
+// returns the number of regressions beyond the warn threshold plus the
+// number tripping the hard gate. Lower-is-better units: ns/op;
+// higher-is-better: anything per second. PR benchmarks with no baseline
+// counterpart — the benches a perf PR introduces — are listed as "new"
+// informational lines rather than silently skipped, so they are visible in
+// CI diffs from the run that adds them.
+func compare(seed, pr metrics, threshold float64, gate gateSpec, out io.Writer) (regressions, gated int) {
 	pairs := matchNames(seed, pr)
 	names := make([]string, 0, len(pairs))
 	for name := range pairs {
@@ -193,7 +229,6 @@ func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 	if len(names) == 0 {
 		fmt.Fprintln(w, "no common benchmarks between the two files")
 	}
-	regressions := 0
 	for _, name := range names {
 		prUnits := pr[pairs[name]]
 		for _, unit := range sortedUnits(seed[name]) {
@@ -212,6 +247,10 @@ func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 			if bad {
 				mark = "✗ "
 				regressions++
+			}
+			if gate.covers(name, rel, lowerBetter) {
+				mark = "✗!"
+				gated++
 			}
 			fmt.Fprintf(w, "%s%-50s %14s %14.4g → %-14.4g (%+.1f%%)\n", mark, name, unit, s, p, rel*100)
 		}
@@ -236,7 +275,7 @@ func compare(seed, pr metrics, threshold float64, out io.Writer) int {
 			fmt.Fprintf(w, "+ %-50s %14s %14s → %-14.4g (new, no baseline)\n", name, unit, "—", pr[name][unit])
 		}
 	}
-	return regressions
+	return regressions, gated
 }
 
 // unitDirection classifies a benchmark unit.

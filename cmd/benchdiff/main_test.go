@@ -77,7 +77,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkTable1":             {"ns/op": 80e6},
 	}
 	var out strings.Builder
-	n := compare(seed, pr, 0.25, &out)
+	n, _ := compare(seed, pr, 0.25, gateSpec{}, &out)
 	// jobs/sec fell 47% → regression; ns/op rose only 10% → fine; peak-C
 	// is a domain metric and must be ignored entirely.
 	if n != 1 {
@@ -93,8 +93,50 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	// Within threshold: no regressions.
 	pr["BenchmarkFleetRun/workers-4"]["jobs/sec"] = 900
 	out.Reset()
-	if n := compare(seed, pr, 0.25, &out); n != 0 {
+	if n, _ := compare(seed, pr, 0.25, gateSpec{}, &out); n != 0 {
 		t.Fatalf("regressions = %d want 0\n%s", n, out.String())
+	}
+}
+
+// TestCompareFailOnRegressGate pins the -fail-on-regress hard gate: only
+// benchmarks whose names contain the match substring count, the gate's
+// threshold is independent of the warn threshold, and improvements or
+// within-threshold noise never trip it.
+func TestCompareFailOnRegressGate(t *testing.T) {
+	seed := metrics{
+		"BenchmarkFleetRun/workers-4": {"jobs/sec": 1000, "ns/op": 1e9},
+		"BenchmarkTable1":             {"ns/op": 100e6},
+	}
+	pr := metrics{
+		"BenchmarkFleetRun/workers-4": {"jobs/sec": 800, "ns/op": 1.25e9}, // -20% / +25%
+		"BenchmarkTable1":             {"ns/op": 150e6},                   // +50%, outside the match
+	}
+	var out strings.Builder
+	_, gated := compare(seed, pr, 0.25, gateSpec{pct: 15, match: "BenchmarkFleetRun"}, &out)
+	// jobs/sec fell 20% and ns/op rose 25%, both past the 15% gate; the
+	// 50% Table1 regression is outside the match.
+	if gated != 2 {
+		t.Fatalf("gated = %d want 2\n%s", gated, out.String())
+	}
+	if !strings.Contains(out.String(), "✗!") {
+		t.Fatalf("gate marker missing:\n%s", out.String())
+	}
+
+	// A looser gate ignores the 20% drop; zero pct disables the gate.
+	out.Reset()
+	if _, gated := compare(seed, pr, 0.25, gateSpec{pct: 30, match: "BenchmarkFleetRun"}, &out); gated != 0 {
+		t.Fatalf("30%% gate tripped on a 25%% regression: %d\n%s", gated, out.String())
+	}
+	if _, gated := compare(seed, pr, 0.25, gateSpec{}, &out); gated != 0 {
+		t.Fatalf("disabled gate tripped: %d", gated)
+	}
+
+	// Empty match gates everything, improvements stay clean.
+	pr["BenchmarkFleetRun/workers-4"] = map[string]float64{"jobs/sec": 1200, "ns/op": 0.8e9}
+	out.Reset()
+	_, gated = compare(seed, pr, 0.25, gateSpec{pct: 15}, &out)
+	if gated != 1 { // only Table1's +50% remains
+		t.Fatalf("empty-match gate = %d want 1\n%s", gated, out.String())
 	}
 }
 
@@ -110,7 +152,7 @@ func TestCompareReportsNewBenchmarks(t *testing.T) {
 		"BenchmarkFleetRun/batched":   {"ns/op": 5e8, "jobs/sec": 1800, "peak-C": 38.0},
 	}
 	var out strings.Builder
-	if n := compare(seed, pr, 0.25, &out); n != 0 {
+	if n, _ := compare(seed, pr, 0.25, gateSpec{}, &out); n != 0 {
 		t.Fatalf("new benchmark counted as regression:\n%s", out.String())
 	}
 	text := out.String()
@@ -124,7 +166,7 @@ func TestCompareReportsNewBenchmarks(t *testing.T) {
 	// Disjoint files: the new-bench lines still print alongside the
 	// no-common-benchmarks note instead of erroring out.
 	out.Reset()
-	if n := compare(metrics{"BenchmarkGone": {"ns/op": 1}}, metrics{"BenchmarkNew": {"ns/op": 2}}, 0.25, &out); n != 0 {
+	if n, _ := compare(metrics{"BenchmarkGone": {"ns/op": 1}}, metrics{"BenchmarkNew": {"ns/op": 2}}, 0.25, gateSpec{}, &out); n != 0 {
 		t.Fatalf("disjoint compare flagged regressions:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "no common benchmarks") || !strings.Contains(out.String(), "+ BenchmarkNew") {

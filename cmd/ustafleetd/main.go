@@ -1,0 +1,94 @@
+// Command ustafleetd is the fleet job service: a persistent HTTP daemon
+// that accepts declarative scenario sweeps, runs them asynchronously on a
+// fleet of worker daemons (or the in-process pool), and serves status,
+// analytics and merged telemetry while they run.
+//
+//	ustafleetd -listen :8080 -hosts hostA:9000,hostB:9000
+//
+//	POST /jobs                  submit a scenario spec (JSON body) → {"id": ...}
+//	GET  /jobs/{id}             status, progress, and (when done) analytics
+//	POST /jobs/{id}/cancel      abort a running job
+//	GET  /jobs/{id}/telemetry   JSONL samples merged into submission order
+//
+// With -hosts, jobs dispatch to long-lived `ustaworker -listen` daemons
+// through the networked coordinator; without it they run on the local
+// worker pool. Either way results are byte-identical. -admit-rate/-burst
+// put a token bucket in front of POST /jobs (submissions beyond it get
+// 429). SIGTERM/SIGINT drains: running jobs are cancelled, the HTTP
+// listener closes, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	fleetnet "repro/internal/fleet/net"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address for the job API")
+		hosts   = flag.String("hosts", "", "comma-separated ustaworker daemon addresses (empty: run jobs on the in-process pool)")
+		workers = flag.Int("workers", 0, "worker pool width per job (0 = GOMAXPROCS)")
+		rate    = flag.Float64("admit-rate", 0, "admission token refill rate in jobs/sec (0 = always admit)")
+		burst   = flag.Int("admit-burst", 1, "admission token bucket burst size")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "ustafleetd: ", log.LstdFlags)
+
+	var runner fleet.Runner
+	if *hosts != "" {
+		hs := strings.Split(*hosts, ",")
+		for i := range hs {
+			hs[i] = strings.TrimSpace(hs[i])
+		}
+		nr := fleetnet.New(hs)
+		nr.Logf = logger.Printf
+		runner = nr
+	}
+	js := fleetnet.NewJobServer(runner)
+	js.Workers = *workers
+	js.Logf = logger.Printf
+	if *rate > 0 {
+		js.Admission = fleetnet.NewTokenBucket(*rate, *burst)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: js.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		logger.Print("draining: cancelling jobs, closing listener")
+		js.Close()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	logger.Printf("listening on %s (hosts: %s)", *listen, orDefault(*hosts, "in-process"))
+	err := srv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ustafleetd:", err)
+		os.Exit(1)
+	}
+	<-drained
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

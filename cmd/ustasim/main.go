@@ -51,6 +51,7 @@ func main() {
 		repN       = flag.Int("n", 5, "replications for -experiment replicate")
 		workers    = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS); results are identical at any width")
 		shards     = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
+		hosts      = flag.String("hosts", "", "comma-separated ustaworker -listen daemon addresses to dispatch the scenario to (overrides -shards); results are identical either way")
 		batch      = flag.Bool("batch", false, "run the scenario on the cohort-batched lockstep engine; results are identical, sweeps over shared device configs run faster")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -63,6 +64,10 @@ func main() {
 	}
 	if *shards != 0 && *scenPath == "" {
 		fmt.Fprintln(os.Stderr, "ustasim: -shards requires -scenario")
+		os.Exit(1)
+	}
+	if *hosts != "" && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -hosts requires -scenario")
 		os.Exit(1)
 	}
 	if *batch && *scenPath == "" {
@@ -82,7 +87,7 @@ func main() {
 		experiment: *exp, scenPath: *scenPath, jsonlPath: *jsonlPath,
 		scale: *scale, seed: *seed, corpusSec: *corpusSec,
 		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
-		workers: *workers, shards: *shards, batch: *batch,
+		workers: *workers, shards: *shards, hosts: *hosts, batch: *batch,
 	}
 	if err := realMain(opts); err != nil {
 		stopProfiles()
@@ -150,6 +155,7 @@ type cliOptions struct {
 	repN       int
 	workers    int
 	shards     int
+	hosts      string
 	batch      bool
 }
 
@@ -170,7 +176,7 @@ func realMain(o cliOptions) error {
 		if flagErr != nil {
 			return flagErr
 		}
-		return runScenario(o.scenPath, o.workers, o.shards, o.batch, o.jsonlPath, o.csvDir, os.Stdout)
+		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.jsonlPath, o.csvDir, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro"
 )
@@ -16,10 +17,11 @@ import (
 // scheme-vs-scheme deltas when the scheme axis has at least two entries.
 // An optional JSONL path streams every telemetry sample; an optional CSV
 // directory receives the aggregate tables. shards != 0 fans the grid out
-// across worker subprocesses, batch runs cohorts of grid cells in
-// lockstep on the batched engine — aggregates and streams are identical
-// under every combination.
-func runScenario(path string, workers, shards int, batch bool, jsonlPath, csvDir string, out io.Writer) error {
+// across worker subprocesses, a non-empty hosts list dispatches shards to
+// long-lived `ustaworker -listen` daemons over TCP (overriding shards),
+// and batch runs cohorts of grid cells in lockstep on the batched engine —
+// aggregates and streams are identical under every combination.
+func runScenario(path string, workers, shards int, hosts string, batch bool, jsonlPath, csvDir string, out io.Writer) error {
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -37,7 +39,14 @@ func runScenario(path string, workers, shards int, batch bool, jsonlPath, csvDir
 			}
 		}),
 	}
-	if shards != 0 {
+	switch {
+	case hosts != "":
+		hs := strings.Split(hosts, ",")
+		for i := range hs {
+			hs[i] = strings.TrimSpace(hs[i])
+		}
+		opts = append(opts, repro.ScenarioRunner(repro.NewNetRunner(hs)))
+	case shards != 0:
 		opts = append(opts, repro.ScenarioShards(shards))
 	}
 	if batch {

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro"
+	fleetnet "repro/internal/fleet/net"
 )
 
 // TestMain lets the test binary serve as a shard worker for the -shards
@@ -38,7 +41,7 @@ trace_free: true
 	csvDir := filepath.Join(dir, "out")
 
 	var out strings.Builder
-	if err := runScenario(specPath, 2, 0, false, jsonl, csvDir, &out); err != nil {
+	if err := runScenario(specPath, 2, 0, "", false, jsonl, csvDir, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -60,7 +63,7 @@ trace_free: true
 	jsonl2 := filepath.Join(dir, "samples_sharded.jsonl")
 	csvDir2 := filepath.Join(dir, "out_sharded")
 	var out2 strings.Builder
-	if err := runScenario(specPath, 2, 2, false, jsonl2, csvDir2, &out2); err != nil {
+	if err := runScenario(specPath, 2, 2, "", false, jsonl2, csvDir2, &out2); err != nil {
 		t.Fatalf("sharded run: %v", err)
 	}
 	data2, err := os.ReadFile(jsonl2)
@@ -93,14 +96,14 @@ trace_free: true
 	}
 
 	// Bad spec path and bad spec content both surface as errors.
-	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, false, "", "", &out); err == nil {
+	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", false, "", "", &out); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(bad, 1, 0, false, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+	if err := runScenario(bad, 1, 0, "", false, "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
 		t.Fatalf("invalid spec error = %v", err)
 	}
 }
@@ -141,7 +144,7 @@ func TestRunScenarioBatchSmoke(t *testing.T) {
 		jsonl := filepath.Join(dir, label+".jsonl")
 		csvDir := filepath.Join(dir, label)
 		var out strings.Builder
-		if err := runScenario(specPath, 2, shards, batch, jsonl, csvDir, &out); err != nil {
+		if err := runScenario(specPath, 2, shards, "", batch, jsonl, csvDir, &out); err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		data, err := os.ReadFile(jsonl)
@@ -179,6 +182,64 @@ func TestRunScenarioBatchSmoke(t *testing.T) {
 	}
 }
 
+// TestRunScenarioHostsSmoke is the CLI half of the networked-fleet
+// acceptance: `-hosts` pointed at two live worker daemons must stream the
+// same number of samples and write byte-identical aggregate tables as the
+// in-process runner.
+func TestRunScenarioHostsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSmokeSpec(t, dir)
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := &fleetnet.Server{Capacity: 2}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(context.Background(), ln)
+		t.Cleanup(srv.Shutdown)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	run := func(label, hosts string) (int, map[string]string) {
+		t.Helper()
+		jsonl := filepath.Join(dir, label+".jsonl")
+		csvDir := filepath.Join(dir, label)
+		var out strings.Builder
+		if err := runScenario(specPath, 2, 0, hosts, false, jsonl, csvDir, &out); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		data, err := os.ReadFile(jsonl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables := map[string]string{}
+		for _, f := range []string{"comfort.csv", "heatmap.csv"} {
+			tb, err := os.ReadFile(filepath.Join(csvDir, f))
+			if err != nil {
+				t.Fatalf("%s: aggregate %s not written: %v", label, f, err)
+			}
+			tables[f] = string(tb)
+		}
+		return strings.Count(string(data), "\n"), tables
+	}
+
+	localSamples, localTables := run("local", "")
+	if localSamples == 0 {
+		t.Fatal("local run streamed no samples")
+	}
+	netSamples, netTables := run("hosts", strings.Join(addrs, ","))
+	if netSamples != localSamples {
+		t.Fatalf("networked run streamed %d samples, local %d", netSamples, localSamples)
+	}
+	for f, want := range localTables {
+		if netTables[f] != want {
+			t.Fatalf("networked aggregate %s differs from local:\n%s\nvs\n%s", f, netTables[f], want)
+		}
+	}
+}
+
 // TestProfileFlagsSmoke exercises -cpuprofile/-memprofile end to end: both
 // profiles must come out non-empty after a scenario run.
 func TestProfileFlagsSmoke(t *testing.T) {
@@ -191,7 +252,7 @@ func TestProfileFlagsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runScenario(specPath, 1, 0, true, "", "", &out); err != nil {
+	if err := runScenario(specPath, 1, 0, "", true, "", "", &out); err != nil {
 		stop()
 		t.Fatal(err)
 	}

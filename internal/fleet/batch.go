@@ -41,7 +41,22 @@ const DefaultBatchWidth = 32
 type BatchRunner struct {
 	// Width caps jobs per lockstep wave (<= 0: DefaultBatchWidth).
 	Width int
+
+	// pool, when non-nil, persists phone allocations across Run calls
+	// (NewBatchRunner sets it). A wave needs cohort-width simultaneous
+	// phones, so unlike the sequential local path, a per-Run pool cannot
+	// recycle within a run — every Run rebuilds the whole cohort (and
+	// reseeds every sensor) from scratch. Carrying the pool across runs
+	// removes that: run N+1 reuses run N's phones. The zero value keeps
+	// the old per-Run scope.
+	pool *phonePool
 }
+
+// NewBatchRunner returns a BatchRunner whose phone pool persists across
+// Run calls — the configuration every long-lived caller (benchmarks,
+// scenario services, worker daemons) wants. The runner is a value; copies
+// share the pool, and concurrent Runs are safe.
+func NewBatchRunner() BatchRunner { return BatchRunner{pool: newPersistentPhonePool()} }
 
 // cohortKey groups jobs that can advance in lockstep: identical thermal
 // propagator source (conductance fingerprint of the freshly built device),
@@ -61,7 +76,10 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 	if len(jobs) == 0 {
 		return results
 	}
-	pool := newPhonePool()
+	pool := r.pool
+	if pool == nil {
+		pool = newPhonePool()
+	}
 	report := ResultReporter(cfg, len(jobs))
 	width := r.Width
 	if width <= 0 {

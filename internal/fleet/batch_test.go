@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -160,6 +161,29 @@ func TestBatchRunnerMatchesLocal(t *testing.T) {
 				if refSink.counts[i] == 0 {
 					t.Fatalf("job %d streamed no samples", i)
 				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerPersistentPoolIdentical pins the cross-run pool's
+// contract: a NewBatchRunner reused for several consecutive Runs — the
+// later ones recycling every phone of the earlier ones — stays
+// byte-identical to LocalRunner on each, including telemetry.
+func TestBatchRunnerPersistentPoolIdentical(t *testing.T) {
+	jobs := batchTestJobs(t, true)
+	refSink := newSumSink()
+	ref := LocalRunner{}.Run(context.Background(),
+		Config{Workers: 1, Seed: 7, Sink: refSink}, jobs)
+	br := NewBatchRunner()
+	for round := 0; round < 3; round++ {
+		gotSink := newSumSink()
+		got := br.Run(context.Background(), Config{Workers: 2, Seed: 7, Sink: gotSink}, jobs)
+		label := fmt.Sprintf("persistent pool round %d", round)
+		requireSameResults(t, label, got, ref)
+		for i := range jobs {
+			if gotSink.counts[i] != refSink.counts[i] || gotSink.sums[i] != refSink.sums[i] {
+				t.Fatalf("%s: job %d telemetry diverged", label, i)
 			}
 		}
 	}

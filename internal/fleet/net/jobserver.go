@@ -1,0 +1,364 @@
+package net
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/fleet/shard"
+	"repro/internal/scenario"
+	"repro/internal/sink"
+	"repro/internal/workload"
+)
+
+// JobServer is the persistent submit/poll side of the fleet service
+// (`ustafleetd`): scenario specs come in over HTTP, run asynchronously on
+// a fleet runner (multi-host through Runner, or the in-process pool), and
+// are observable while running — status and progress by polling, ordered
+// JSONL telemetry by streaming. Endpoints:
+//
+//	POST /jobs                  submit a scenario spec (JSON body) → {"id": ...}
+//	GET  /jobs/{id}             status, progress, and (when done) analytics
+//	POST /jobs/{id}/cancel      abort a running job
+//	GET  /jobs/{id}/telemetry   JSONL sample stream merged into submission order
+//
+// Construct with NewJobServer, mount Handler, Close on shutdown.
+type JobServer struct {
+	// Runner executes submitted sweeps (nil: the in-process pool). A
+	// *Runner (multi-host coordinator) or *shard.Runner is copied per job
+	// with the sweep's predictor injected, mirroring RunScenario.
+	Runner fleet.Runner
+	// Workers bounds each job's worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Device is the base configuration grids expand against (nil: default).
+	Device *device.Config
+	// Predictor, when set, backs usta schemes without per-job training.
+	Predictor *core.Predictor
+	// Admission gates POST /jobs: a submission that cannot take a token
+	// immediately is answered 429 (nil: always admit).
+	Admission *TokenBucket
+	// Logf, when set, receives one line per job-lifecycle event.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	jobs   map[string]*serverJob
+	seq    int
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewJobServer creates a job server executing on the given runner (nil:
+// the in-process pool).
+func NewJobServer(r fleet.Runner) *JobServer {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &JobServer{Runner: r, jobs: make(map[string]*serverJob), ctx: ctx, cancel: cancel}
+}
+
+func (s *JobServer) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Close cancels every running job and waits for them to unwind. The
+// handler keeps answering status queries afterwards; new submissions are
+// rejected.
+func (s *JobServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// serverJob is one submitted sweep's lifecycle record.
+type serverJob struct {
+	id string
+
+	mu      sync.Mutex
+	status  string // "running", "done", "failed", "cancelled"
+	done    int
+	total   int
+	errMsg  string
+	comfort []analytics.UserComfort
+
+	bus      *Bus
+	busReady chan struct{} // closed once bus (and total) exist
+	cancel   context.CancelFunc
+	finished chan struct{}
+}
+
+// statusBody is the GET /jobs/{id} response shape.
+type statusBody struct {
+	ID      string                  `json:"id"`
+	Status  string                  `json:"status"`
+	Done    int                     `json:"done"`
+	Total   int                     `json:"total"`
+	Error   string                  `json:"error,omitempty"`
+	Comfort []analytics.UserComfort `json:"comfort,omitempty"`
+}
+
+func (j *serverJob) snapshot() statusBody {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return statusBody{ID: j.id, Status: j.status, Done: j.done, Total: j.total,
+		Error: j.errMsg, Comfort: j.comfort}
+}
+
+// Handler returns the HTTP API.
+func (s *JobServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleTelemetry)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *JobServer) lookup(r *http.Request) (*serverJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "scenario spec: %v", err)
+		return
+	}
+	if s.Admission != nil && !s.Admission.Allow(1) {
+		writeError(w, http.StatusTooManyRequests, "admission control: try again later")
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := &serverJob{id: id, status: "running", cancel: cancel,
+		busReady: make(chan struct{}), finished: make(chan struct{})}
+	s.jobs[id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.logf("net: job %s: submitted", id)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		s.execute(ctx, j, spec)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *JobServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *JobServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "status": "cancelling"})
+}
+
+func (s *JobServer) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	// The bus exists once the grid is expanded; a submission that failed
+	// before that closes busReady with a nil bus.
+	select {
+	case <-j.busReady:
+	case <-r.Context().Done():
+		return
+	}
+	j.mu.Lock()
+	bus := j.bus
+	j.mu.Unlock()
+	if bus == nil {
+		writeError(w, http.StatusConflict, "job produced no telemetry: %s", j.snapshot().Error)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	var buf []byte
+	bus.Stream(r.Context(), func(job int, smp device.Sample) error {
+		buf = sink.AppendJSONL(buf[:0], sink.JobID(job), smp)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return nil
+	})
+}
+
+// execute runs one submitted sweep to completion, mirroring the public
+// RunScenario pipeline (self-trained predictor, trace-free violation
+// accumulation, analytics join) with the bus as the telemetry sink.
+func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Spec) {
+	fail := func(err error) {
+		j.mu.Lock()
+		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+			j.status = "cancelled"
+		} else {
+			j.status = "failed"
+		}
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		// Unblock telemetry waiters whether or not a bus ever existed.
+		select {
+		case <-j.busReady:
+		default:
+			close(j.busReady)
+		}
+		close(j.finished)
+		s.logf("net: job %s: %s: %v", j.id, j.snapshot().Status, err)
+	}
+
+	devCfg := device.DefaultConfig()
+	if s.Device != nil {
+		devCfg = *s.Device
+	}
+	pred := s.Predictor
+	if pred == nil && spec.NeedsPredictor() {
+		corpusSeed := spec.Predictor.CorpusSeed
+		if corpusSeed == 0 {
+			corpusSeed = 42
+		}
+		bs := workload.Benchmarks(corpusSeed)
+		loads := make([]workload.Workload, len(bs))
+		for i, b := range bs {
+			loads[i] = b
+		}
+		corpus, err := core.CollectCorpusContext(ctx, devCfg, loads, spec.Predictor.CorpusPerRunSec, s.Workers)
+		if err != nil {
+			fail(fmt.Errorf("scenario corpus: %w", err))
+			return
+		}
+		if pred, err = core.Train(corpus, nil); err != nil {
+			fail(fmt.Errorf("scenario predictor: %w", err))
+			return
+		}
+	}
+	grid, err := spec.Expand(scenario.Env{Device: &devCfg, Predictor: pred})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	bus := NewBus(len(grid.Jobs))
+	j.mu.Lock()
+	j.bus = bus
+	j.total = len(grid.Jobs)
+	j.mu.Unlock()
+	close(j.busReady)
+
+	runSink := sink.Sink(bus)
+	var vs *analytics.ViolationSink
+	if spec.TraceFree {
+		vs = analytics.NewViolationSink(grid.Limits())
+		runSink = sink.NewTee(vs, bus)
+	}
+	cfg := fleet.Config{
+		Workers: s.Workers,
+		Seed:    spec.Seeds.Base,
+		Sink:    runSink,
+		OnResult: func(res fleet.JobResult) {
+			bus.Finish(res.Index)
+			j.mu.Lock()
+			j.done++
+			j.mu.Unlock()
+		},
+		Runner: s.jobRunner(pred),
+	}
+	results := fleet.New(cfg).Run(ctx, grid.Jobs)
+	bus.Close()
+	stats, err := analytics.Flatten(grid, results)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if vs != nil {
+		vs.Apply(stats)
+	}
+	comfort := analytics.ComfortByUser(stats)
+
+	j.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		j.status = "cancelled"
+		j.errMsg = err.Error()
+	} else if err := fleet.FirstError(results); err != nil {
+		j.status = "failed"
+		j.errMsg = err.Error()
+	} else {
+		j.status = "done"
+	}
+	j.comfort = comfort
+	j.mu.Unlock()
+	close(j.finished)
+	s.logf("net: job %s: %s (%d jobs)", j.id, j.snapshot().Status, len(results))
+}
+
+// jobRunner resolves the per-job runner: the server's runner, copied with
+// the sweep's predictor injected when it is a networked or shard
+// coordinator (the server's own runner is never mutated — jobs run
+// concurrently).
+func (s *JobServer) jobRunner(pred *core.Predictor) fleet.Runner {
+	switch r := s.Runner.(type) {
+	case *Runner:
+		cp := *r
+		cp.Predictor = pred
+		return &cp
+	case *shard.Runner:
+		cp := *r
+		if pred != nil {
+			cp.Predictor = pred
+		}
+		return &cp
+	default:
+		return s.Runner
+	}
+}

@@ -1,0 +1,640 @@
+package net
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/fleet/wire"
+	"repro/internal/sink"
+)
+
+// DefaultHeartbeatTimeout is how long the coordinator tolerates a silent
+// worker connection before declaring the host dead. Sample, result and
+// heartbeat frames all refresh it, so only a worker that stopped making
+// progress and stopped pulsing trips it.
+const DefaultHeartbeatTimeout = 5 * DefaultHeartbeatInterval
+
+// DefaultDialTimeout bounds connection establishment plus the hello
+// handshake per worker connection.
+const DefaultDialTimeout = 5 * time.Second
+
+// defaultMaxRetries is how many times a work item survives worker loss
+// before its remaining jobs fail.
+const defaultMaxRetries = 3
+
+// errNoSpec mirrors the shard runner's rule: only serializable jobs can
+// cross a host boundary.
+var errNoSpec = errors.New("net: job has no serializable spec (Job.Spec); only scenario-expanded or spec-carrying jobs can run on a networked runner")
+
+// Runner is the multi-host fleet.Runner: it partitions jobs into work
+// items, dispatches them to ustaworker daemons over TCP, and merges the
+// streamed frames back into submission order. Seeds are resolved
+// coordinator-side through fleet.EffectiveSeed before dispatch, so a
+// distributed run is byte-identical to LocalRunner — including after a
+// worker dies mid-shard and its unreported jobs are retried on a
+// surviving host (telemetry for a retried job is buffered and flushed
+// only when its result arrives, so a half-streamed first attempt leaves
+// no trace). Hosts die by transport failure or heartbeat-deadline expiry
+// and take no further work; when every host is dead the remaining jobs
+// fail instead of hanging. The zero value is not useful; set Hosts.
+type Runner struct {
+	// Hosts is the static worker inventory, "host:port" per entry.
+	Hosts []string
+	// Predictor backs "usta" job specs in the workers; serialized once per
+	// run and shipped inside every shard request.
+	Predictor *core.Predictor
+	// Batched selects the cohort-batched lockstep runner inside each
+	// worker. Output is byte-identical either way.
+	Batched bool
+	// ShardSize is the number of jobs per dispatch unit (<= 0: the batch is
+	// split into about four items per host, so one slow shard cannot strand
+	// the run behind it).
+	ShardSize int
+	// MaxRetries is how many times a work item is re-dispatched after
+	// worker loss before its unreported jobs fail (<= 0: 3).
+	MaxRetries int
+	// HeartbeatTimeout is the silent-connection budget before a host is
+	// declared dead (<= 0: DefaultHeartbeatTimeout).
+	HeartbeatTimeout time.Duration
+	// DialTimeout bounds dial + hello handshake (<= 0: DefaultDialTimeout).
+	DialTimeout time.Duration
+	// Admission, when set, gates dispatch: every work item takes one token
+	// per job before its shard request is written.
+	Admission *TokenBucket
+	// Logf, when set, receives one line per host-level event (connect,
+	// death, retry). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// New creates a networked runner over the given worker addresses.
+func New(hosts []string) *Runner { return &Runner{Hosts: hosts} }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// workItem is one dispatch unit: a set of seeded, globally-indexed specs
+// and the retry budget they have left.
+type workItem struct {
+	specs    []fleet.JobSpec
+	attempts int
+}
+
+// dispatcher is the coordinator's work queue: host slots pull items, and
+// failed items come back for retry. It tracks outstanding work and live
+// hosts so idle slots wake up exactly when there is something to do — or
+// when nothing ever will be again.
+type dispatcher struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []*workItem
+	outstanding int
+	liveHosts   int
+	cancelled   bool
+	lastErr     error // last host-loss error, for jobs failed by host exhaustion
+}
+
+func newDispatcher(items []*workItem, hosts int) *dispatcher {
+	d := &dispatcher{pending: items, liveHosts: hosts}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// next blocks until a work item is available and claims it, or returns nil
+// when the run is over for this slot: queue drained with nothing in
+// flight, every host dead, or the run cancelled.
+func (d *dispatcher) next() *workItem {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.cancelled || d.liveHosts == 0 {
+			return nil
+		}
+		if len(d.pending) > 0 {
+			it := d.pending[0]
+			d.pending = d.pending[1:]
+			d.outstanding++
+			return it
+		}
+		if d.outstanding == 0 {
+			return nil
+		}
+		d.cond.Wait()
+	}
+}
+
+// finish retires a claimed item (completed or permanently failed).
+func (d *dispatcher) finish() {
+	d.mu.Lock()
+	d.outstanding--
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// requeue returns a claimed item to the queue for another attempt.
+func (d *dispatcher) requeue(it *workItem) {
+	d.mu.Lock()
+	d.outstanding--
+	d.pending = append(d.pending, it)
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// hostDown records the loss of a host and remembers why.
+func (d *dispatcher) hostDown(err error) {
+	d.mu.Lock()
+	d.liveHosts--
+	if err != nil {
+		d.lastErr = err
+	}
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// cancel aborts the run: blocked slots wake and exit.
+func (d *dispatcher) cancel() {
+	d.mu.Lock()
+	d.cancelled = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// drain empties the pending queue, returning the stranded items (used
+// after every slot has exited to fail whatever never ran).
+func (d *dispatcher) drain() []*workItem {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	items := d.pending
+	d.pending = nil
+	return items
+}
+
+// runState is the merge side of a run: results, received tracking, and
+// the per-job telemetry buffers that make retry invisible to the sink.
+type runState struct {
+	mu       sync.Mutex
+	results  []fleet.JobResult
+	received []bool
+	jobs     []fleet.Job
+	report   func(fleet.JobResult)
+	sink     sink.Sink
+	buf      map[int][]device.Sample // global index → samples awaiting the job's result
+}
+
+// sample buffers one telemetry sample until its job's result arrives.
+func (st *runState) sample(idx int, s device.Sample) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if idx < 0 || idx >= len(st.received) || st.received[idx] {
+		return // late frame from a lost worker; the retry owns this job now
+	}
+	st.buf[idx] = append(st.buf[idx], s)
+}
+
+// result records a job result, flushing its buffered telemetry first so
+// the sink sees each job's samples exactly once even across retries.
+// Duplicate results (a lost worker's frame racing its replacement) are
+// dropped.
+func (st *runState) result(rf *wire.ResultFrame) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	idx := rf.Index
+	if idx < 0 || idx >= len(st.received) || st.received[idx] {
+		return
+	}
+	if st.sink != nil {
+		for _, s := range st.buf[idx] {
+			st.sink.Accept(sink.JobID(idx), s)
+		}
+		delete(st.buf, idx)
+	}
+	st.results[idx] = rf.Decode()
+	st.received[idx] = true
+	st.report(st.results[idx])
+}
+
+// fail marks every unreported job of an item failed with err.
+func (st *runState) fail(it *workItem, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := range it.specs {
+		idx := it.specs[i].Index
+		if st.received[idx] {
+			continue
+		}
+		delete(st.buf, idx)
+		st.results[idx] = errResult(idx, &st.jobs[idx], err)
+		st.received[idx] = true
+		st.report(st.results[idx])
+	}
+}
+
+// unreported builds the retry item for a lost shard: only the jobs the
+// dead worker never reported, with their half-streamed telemetry dropped.
+func (st *runState) unreported(it *workItem) *workItem {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	retry := &workItem{attempts: it.attempts + 1}
+	for i := range it.specs {
+		idx := it.specs[i].Index
+		if st.received[idx] {
+			continue
+		}
+		delete(st.buf, idx) // partial samples from the lost attempt
+		retry.specs = append(retry.specs, it.specs[i])
+	}
+	if len(retry.specs) == 0 {
+		return nil
+	}
+	return retry
+}
+
+// errResult matches the local runner's failed-job shape.
+func errResult(i int, job *fleet.Job, err error) fleet.JobResult {
+	res := fleet.JobResult{Index: i, Name: job.Name, User: job.User, Err: err}
+	if res.Name == "" && job.Workload != nil {
+		res.Name = job.Workload.Name()
+	}
+	return res
+}
+
+// Run implements fleet.Runner. See the type comment for the contract.
+func (r *Runner) Run(ctx context.Context, cfg fleet.Config, jobs []fleet.Job) []fleet.JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]fleet.JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	report := fleet.ResultReporter(cfg, len(jobs))
+	st := &runState{
+		results:  results,
+		received: make([]bool, len(jobs)),
+		jobs:     jobs,
+		report:   report,
+		sink:     cfg.Sink,
+		buf:      make(map[int][]device.Sample),
+	}
+	failAll := func(err error) []fleet.JobResult {
+		for i := range jobs {
+			if !st.received[i] {
+				results[i] = errResult(i, &jobs[i], err)
+				report(results[i])
+			}
+		}
+		return results
+	}
+	if len(r.Hosts) == 0 {
+		return failAll(errors.New("net: no worker hosts configured"))
+	}
+	pred, err := wire.EncodePredictor(r.Predictor)
+	if err != nil {
+		return failAll(err)
+	}
+
+	// Seed and index every spec'd job now — determinism must not depend on
+	// which host runs it or on how many attempts it takes. Spec-less jobs
+	// cannot cross the wire and fail immediately.
+	specs := make([]fleet.JobSpec, 0, len(jobs))
+	for i := range jobs {
+		if jobs[i].Spec == nil {
+			st.results[i] = errResult(i, &jobs[i], errNoSpec)
+			st.received[i] = true
+			report(st.results[i])
+			continue
+		}
+		spec := *jobs[i].Spec
+		spec.Index = i
+		spec.Seed = fleet.EffectiveSeed(cfg.Seed, i, &jobs[i])
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return results
+	}
+
+	// Partition into work items: a few per host so the queue can rebalance
+	// around slow or dead workers.
+	size := r.ShardSize
+	if size <= 0 {
+		size = (len(specs) + 4*len(r.Hosts) - 1) / (4 * len(r.Hosts))
+	}
+	var items []*workItem
+	for start := 0; start < len(specs); start += size {
+		end := start + size
+		if end > len(specs) {
+			end = len(specs)
+		}
+		items = append(items, &workItem{specs: specs[start:end]})
+	}
+	d := newDispatcher(items, len(r.Hosts))
+
+	// Cancellation: poke every open connection's read deadline so blocked
+	// slots wake immediately, observe ctx, send a best-effort cancel frame
+	// and tear down.
+	var connMu sync.Mutex
+	conns := make(map[stdnet.Conn]struct{})
+	trackConn := func(c stdnet.Conn, add bool) {
+		connMu.Lock()
+		if add {
+			conns[c] = struct{}{}
+		} else {
+			delete(conns, c)
+		}
+		connMu.Unlock()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		d.cancel()
+		connMu.Lock()
+		for c := range conns {
+			c.SetReadDeadline(time.Now())
+		}
+		connMu.Unlock()
+	})
+	defer stop()
+
+	req := baseRequest{pred: pred, workers: cfg.Workers, wantSamples: cfg.Sink != nil, batched: r.Batched}
+	var wg sync.WaitGroup
+	for _, addr := range r.Hosts {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			r.runHost(ctx, addr, d, st, req, trackConn)
+		}(addr)
+	}
+	wg.Wait()
+
+	// Whatever is still pending after every slot exited can never run:
+	// either all hosts died or the run was cancelled.
+	strandErr := ctx.Err()
+	if strandErr == nil {
+		d.mu.Lock()
+		strandErr = d.lastErr
+		d.mu.Unlock()
+		if strandErr == nil {
+			strandErr = errors.New("net: no live worker hosts")
+		}
+	}
+	for _, it := range d.drain() {
+		st.fail(it, strandErr)
+	}
+	// Claimed-but-unfinished items were already failed or requeued by their
+	// slots; a final sweep catches jobs stranded by cancellation races.
+	st.mu.Lock()
+	for i := range jobs {
+		if !st.received[i] {
+			st.results[i] = errResult(i, &jobs[i], strandErr)
+			st.received[i] = true
+			st.report(st.results[i])
+		}
+	}
+	st.mu.Unlock()
+	return results
+}
+
+// baseRequest carries the per-run constants every shard request shares.
+type baseRequest struct {
+	pred        []byte
+	workers     int
+	wantSamples bool
+	batched     bool
+}
+
+// host is the per-address liveness record shared by its slots.
+type host struct {
+	addr string
+	mu   sync.Mutex
+	dead bool
+}
+
+func (h *host) markDead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead {
+		return false
+	}
+	h.dead = true
+	return true
+}
+
+func (h *host) isDead() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dead
+}
+
+// runHost manages one worker address for one run: a probe connection
+// learns the daemon's capacity from its hello, then that many slot loops
+// pull work items and execute them on their own connections. The first
+// transport failure (or heartbeat-deadline expiry) on any slot marks the
+// whole host dead — a killed daemon drops every connection at once, and a
+// wedged one should not be trusted with more work.
+func (r *Runner) runHost(ctx context.Context, addr string, d *dispatcher, st *runState, req baseRequest, trackConn func(stdnet.Conn, bool)) {
+	h := &host{addr: addr}
+	conn, capacity, err := r.dial(ctx, addr)
+	if err != nil {
+		r.logf("net: host %s: %v", addr, err)
+		d.hostDown(fmt.Errorf("net: host %s: %w", addr, err))
+		return
+	}
+	r.logf("net: host %s: connected, capacity %d", addr, capacity)
+
+	var wg sync.WaitGroup
+	for i := 0; i < capacity; i++ {
+		var c stdnet.Conn
+		if i == 0 {
+			c = conn // the probe connection serves as the first slot
+		} else {
+			var cerr error
+			c, _, cerr = r.dial(ctx, addr)
+			if cerr != nil {
+				// The daemon advertised more capacity than it can accept
+				// right now; run with the slots that connected.
+				r.logf("net: host %s: slot %d: %v", addr, i, cerr)
+				break
+			}
+		}
+		wg.Add(1)
+		go func(c stdnet.Conn) {
+			defer wg.Done()
+			trackConn(c, true)
+			defer func() {
+				trackConn(c, false)
+				c.Close()
+			}()
+			r.runSlot(ctx, h, c, d, st, req)
+		}(c)
+	}
+	wg.Wait()
+	if h.markDead() {
+		// Clean exit: the queue drained. The host was never lost, so no
+		// lastErr — just retire its dispatcher seat.
+		d.hostDown(nil)
+	}
+}
+
+// dial connects to a worker daemon and completes the hello handshake,
+// returning the connection and the daemon's advertised capacity.
+func (r *Runner) dial(ctx context.Context, addr string) (stdnet.Conn, int, error) {
+	timeout := r.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	dialer := &stdnet.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	f, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if f.Type != wire.TypeHello {
+		conn.Close()
+		return nil, 0, fmt.Errorf("hello: expected a %s frame, got %s", wire.TypeHello, f.Type)
+	}
+	if f.Hello.Proto != wire.Version {
+		conn.Close()
+		return nil, 0, fmt.Errorf("hello: protocol version %d, want %d", f.Hello.Proto, wire.Version)
+	}
+	return conn, f.Hello.Capacity, nil
+}
+
+// runSlot is one in-flight-shard lane on one connection: claim an item,
+// pass admission, ship it, merge the stream, repeat. Transport failures
+// mark the host dead and requeue the item's unreported jobs; worker-side
+// error frames are deterministic failures and are not retried.
+func (r *Runner) runSlot(ctx context.Context, h *host, conn stdnet.Conn, d *dispatcher, st *runState, req baseRequest) {
+	maxRetries := r.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = defaultMaxRetries
+	}
+	hbTimeout := r.HeartbeatTimeout
+	if hbTimeout <= 0 {
+		hbTimeout = DefaultHeartbeatTimeout
+	}
+	for {
+		if h.isDead() {
+			return
+		}
+		it := d.next()
+		if it == nil {
+			return
+		}
+		if r.Admission != nil {
+			if err := r.Admission.Wait(ctx, len(it.specs)); err != nil {
+				st.fail(it, err)
+				d.finish()
+				return
+			}
+		}
+		err := r.streamItem(conn, it, st, req, hbTimeout)
+		if err == nil {
+			d.finish()
+			continue
+		}
+		var werr workerError
+		if errors.As(err, &werr) {
+			// The worker rejected the request deterministically (bad
+			// predictor, bad frame): retrying elsewhere reproduces the same
+			// failure. The connection stays usable.
+			st.fail(it, err)
+			d.finish()
+			continue
+		}
+		// Transport loss. Attribute the right cause, mark the host dead,
+		// and give the unreported jobs to another host — unless the run is
+		// cancelled or the item is out of attempts.
+		if ctx.Err() != nil {
+			// Best-effort cancel so a surviving worker stops burning cores;
+			// the deadline poke already unblocked our read.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			wire.WriteFrame(conn, &wire.Frame{V: wire.Version, Type: wire.TypeCancel})
+			st.fail(it, ctx.Err())
+			d.finish()
+			return
+		}
+		err = fmt.Errorf("net: host %s: %w", h.addr, err)
+		if h.markDead() {
+			r.logf("%v: marking host dead", err)
+			d.hostDown(err)
+		}
+		retry := st.unreported(it)
+		switch {
+		case retry == nil:
+			// Every job was already reported before the stream died.
+			d.finish()
+		case retry.attempts > maxRetries:
+			st.fail(retry, fmt.Errorf("%w (retries exhausted)", err))
+			d.finish()
+		default:
+			r.logf("net: host %s: requeueing %d unreported jobs (attempt %d)", h.addr, len(retry.specs), retry.attempts)
+			d.requeue(retry)
+		}
+		return
+	}
+}
+
+// workerError wraps a worker-side error frame: deterministic, not
+// retryable.
+type workerError struct{ msg string }
+
+func (e workerError) Error() string { return e.msg }
+
+// streamItem ships one work item as a shard request and merges the frames
+// streaming back until the worker's done frame. Heartbeats (and any other
+// traffic) refresh the read deadline; hbTimeout of silence is a transport
+// failure.
+func (r *Runner) streamItem(conn stdnet.Conn, it *workItem, st *runState, req baseRequest, hbTimeout time.Duration) error {
+	sreq := &wire.ShardRequest{
+		Workers:     req.workers,
+		Predictor:   req.pred,
+		WantSamples: req.wantSamples,
+		Batched:     req.batched,
+		Jobs:        it.specs,
+	}
+	conn.SetWriteDeadline(time.Now().Add(hbTimeout))
+	if err := wire.WriteFrame(conn, &wire.Frame{V: wire.Version, Type: wire.TypeShard, Shard: sreq}); err != nil {
+		return fmt.Errorf("send shard: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	for {
+		conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			var nerr stdnet.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return fmt.Errorf("no heartbeat for %v: %w", hbTimeout, err)
+			}
+			return err
+		}
+		switch f.Type {
+		case wire.TypeHeartbeat:
+			// Liveness pulse only; the deadline reset above is the point.
+		case wire.TypeSample:
+			st.sample(f.Sample.Job, f.Sample.Sample)
+		case wire.TypeResult:
+			st.result(f.Result)
+		case wire.TypeDone:
+			conn.SetReadDeadline(time.Time{})
+			return nil
+		case wire.TypeError:
+			conn.SetReadDeadline(time.Time{})
+			return workerError{msg: fmt.Sprintf("worker: %s", f.Err)}
+		default:
+			return fmt.Errorf("unexpected %s frame mid-shard", f.Type)
+		}
+	}
+}

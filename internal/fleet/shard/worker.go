@@ -28,6 +28,12 @@ const crashEnv = "USTA_SHARD_CRASH_ON_INDEX"
 // IsWorker reports whether this process was spawned as a shard worker.
 func IsWorker() bool { return os.Getenv(workerEnv) == "1" }
 
+// batchedRunner is shared by every batched shard this process serves: a
+// long-lived worker daemon recycles phone allocations across requests
+// instead of rebuilding each cohort from scratch. (One-shot pipe workers
+// serve a single request; they neither gain nor lose.)
+var batchedRunner = fleet.NewBatchRunner()
+
 // Main serves one shard over stdin/stdout and exits, when the current
 // process was spawned as a shard worker; otherwise it is a no-op. Call it
 // at the top of main() — before flag parsing — in any binary that
@@ -68,10 +74,25 @@ func Serve(r io.Reader, w io.Writer) error {
 	if f.Type != wire.TypeShard {
 		return fail(fmt.Errorf("expected a %s frame, got %s", wire.TypeShard, f.Type))
 	}
-	req := f.Shard
+	if err := ServeRequest(context.Background(), f.Shard, write); err != nil {
+		return fail(err)
+	}
+	return write(&wire.Frame{V: wire.Version, Type: wire.TypeDone})
+}
+
+// ServeRequest executes one already-decoded shard request, streaming sample
+// and result frames through write (which must serialize access to the
+// underlying stream). It is the execution core shared by the pipe worker
+// (Serve) and the TCP daemon (internal/fleet/net): request-level failures —
+// an undecodable predictor, a broken transport — return a non-nil error for
+// the caller to encode; per-job failures travel as individual result frames
+// and leave the shard alive. A cancelled ctx degrades to per-job context
+// errors on the unfinished jobs, exactly like the local runner; the done
+// (or error) frame stays the caller's responsibility.
+func ServeRequest(ctx context.Context, req *wire.ShardRequest, write func(*wire.Frame) error) error {
 	pred, err := wire.DecodePredictor(req.Predictor)
 	if err != nil {
-		return fail(err)
+		return err
 	}
 	canonicalizeDevices(req.Jobs)
 
@@ -103,6 +124,7 @@ func Serve(r io.Reader, w io.Writer) error {
 		remote = wire.SampleWriter(write, func(id sink.JobID) int { return global[int(id)] })
 		cfg.Sink = remote
 	}
+	var mu sync.Mutex
 	var resErr error
 	cfg.OnResult = func(res fleet.JobResult) {
 		// Stream each result as it completes so the coordinator's progress
@@ -110,27 +132,33 @@ func Serve(r io.Reader, w io.Writer) error {
 		idx := global[res.Index]
 		rf := wire.EncodeResult(res)
 		rf.Index = idx
-		if err := write(&wire.Frame{V: wire.Version, Type: wire.TypeResult, Result: rf}); err != nil && resErr == nil {
+		err := write(&wire.Frame{V: wire.Version, Type: wire.TypeResult, Result: rf})
+		mu.Lock()
+		if err != nil && resErr == nil {
 			resErr = err
 		}
+		mu.Unlock()
 		if crashArmed && idx == crashOn {
 			os.Exit(3)
 		}
 	}
 	var runner fleet.Runner = fleet.LocalRunner{}
 	if req.Batched {
-		runner = fleet.BatchRunner{}
+		runner = batchedRunner
 	}
-	runner.Run(context.Background(), cfg, jobs)
-	if resErr != nil {
-		return resErr
+	runner.Run(ctx, cfg, jobs)
+	mu.Lock()
+	err = resErr
+	mu.Unlock()
+	if err != nil {
+		return err
 	}
 	if remote != nil {
 		if err := remote.Close(); err != nil {
 			return fmt.Errorf("telemetry stream: %w", err)
 		}
 	}
-	return write(&wire.Frame{V: wire.Version, Type: wire.TypeDone})
+	return nil
 }
 
 // canonicalizeDevices aliases value-identical device configurations to

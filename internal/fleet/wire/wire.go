@@ -45,10 +45,22 @@ const (
 	TypeSample = "sample"
 	// TypeResult carries one finished job, worker → coordinator.
 	TypeResult = "result"
-	// TypeDone marks the end of a worker's stream.
+	// TypeDone marks the end of a worker's stream (of the current shard, on
+	// a long-lived daemon connection that serves several).
 	TypeDone = "done"
 	// TypeError aborts the shard with a worker-side failure.
 	TypeError = "error"
+	// TypeHello is a worker daemon's handshake, sent once per accepted
+	// connection before anything else: protocol version (the envelope's V)
+	// plus the daemon's shard capacity (internal/fleet/net).
+	TypeHello = "hello"
+	// TypeHeartbeat is a worker's liveness pulse, emitted periodically
+	// while a shard executes so the coordinator's read deadline can tell a
+	// slow shard from a dead worker. It carries no payload.
+	TypeHeartbeat = "heartbeat"
+	// TypeCancel asks the worker to abandon the in-flight shard,
+	// coordinator → worker. It carries no payload.
+	TypeCancel = "cancel"
 )
 
 // Sentinel errors for malformed streams.
@@ -70,7 +82,20 @@ type Frame struct {
 	Shard  *ShardRequest `json:"shard,omitempty"`
 	Sample *SampleFrame  `json:"sample,omitempty"`
 	Result *ResultFrame  `json:"result,omitempty"`
+	Hello  *HelloFrame   `json:"hello,omitempty"`
 	Err    string        `json:"err,omitempty"`
+}
+
+// HelloFrame is a worker daemon's self-description: the protocol version it
+// speaks (redundant with the envelope's V, but recorded explicitly so a
+// future multi-version coordinator can negotiate) and how many shards it is
+// willing to execute concurrently — the coordinator's per-worker in-flight
+// cap.
+type HelloFrame struct {
+	// Proto is the wire protocol version the daemon speaks.
+	Proto int `json:"proto"`
+	// Capacity is the daemon's concurrent-shard limit (>= 1).
+	Capacity int `json:"capacity"`
 }
 
 // ShardRequest is the coordinator's single message to a worker: the
@@ -224,7 +249,14 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		if f.Result == nil {
 			return nil, fmt.Errorf("%w: result frame without payload", ErrBadFrame)
 		}
-	case TypeDone:
+	case TypeDone, TypeHeartbeat, TypeCancel:
+	case TypeHello:
+		if f.Hello == nil {
+			return nil, fmt.Errorf("%w: hello frame without payload", ErrBadFrame)
+		}
+		if f.Hello.Capacity < 1 {
+			return nil, fmt.Errorf("%w: hello frame with capacity %d", ErrBadFrame, f.Hello.Capacity)
+		}
 	case TypeError:
 		if f.Err == "" {
 			return nil, fmt.Errorf("%w: error frame without message", ErrBadFrame)

@@ -134,7 +134,16 @@ func (j *JSONL) Accept(job JobID, s device.Sample) {
 	if j.err != nil {
 		return
 	}
-	b := j.buf[:0]
+	j.buf = AppendJSONL(j.buf[:0], job, s)
+	if _, err := j.w.Write(j.buf); err != nil {
+		j.err = err
+	}
+}
+
+// AppendJSONL appends one sample's JSONL line (newline included) to b and
+// returns the extended slice — the shared line encoding behind the JSONL
+// sink and the fleet service's telemetry endpoints.
+func AppendJSONL(b []byte, job JobID, s device.Sample) []byte {
 	b = append(b, `{"job":`...)
 	b = strconv.AppendInt(b, int64(job), 10)
 	b = appendField(b, "t", s.TimeSec)
@@ -147,10 +156,7 @@ func (j *JSONL) Accept(job JobID, s device.Sample) {
 	b = append(b, `,"max_level":`...)
 	b = strconv.AppendInt(b, int64(s.MaxLevel), 10)
 	b = append(b, '}', '\n')
-	j.buf = b
-	if _, err := j.w.Write(b); err != nil {
-		j.err = err
-	}
+	return b
 }
 
 func appendField(b []byte, key string, v float64) []byte {

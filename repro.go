@@ -61,6 +61,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	fleetnet "repro/internal/fleet/net"
 	"repro/internal/fleet/shard"
 	"repro/internal/governor"
 	"repro/internal/ml"
@@ -233,7 +234,7 @@ func NewFleet(cfg FleetConfig) *Fleet { return fleet.New(cfg) }
 // share a device configuration (scenario grid sweeps). Pass it to
 // FleetConfig.Runner or ScenarioRunner, or use WithBatchedRunner /
 // `ustasim -batch` for scenarios.
-func NewBatchRunner() Runner { return fleet.BatchRunner{} }
+func NewBatchRunner() Runner { return fleet.NewBatchRunner() }
 
 // NewShardRunner returns a fleet Runner that partitions every batch into n
 // contiguous shards (n <= 0: GOMAXPROCS), each executed by a worker
@@ -246,6 +247,20 @@ func NewBatchRunner() Runner { return fleet.BatchRunner{} }
 // the current binary, which must call ShardWorkerMain first thing in
 // main(); set Command to a built cmd/ustaworker to avoid that.
 func NewShardRunner(n int) *shard.Runner { return shard.New(n) }
+
+// NewNetRunner returns a fleet Runner that dispatches shards to long-lived
+// worker daemons (`ustaworker -listen host:port`) over TCP instead of
+// spawning subprocesses. Each host advertises its shard capacity in a
+// hello handshake; the coordinator keeps that many dispatch slots open per
+// host, tracks liveness with heartbeat deadlines, and on a lost worker
+// re-dispatches only the jobs whose results never arrived. Seeds are
+// resolved coordinator-side from job position, so a distributed run is
+// byte-identical to the in-process runner — including after a mid-shard
+// worker death and retry. Jobs must carry a JobSpec (scenario-expanded
+// jobs do); set the runner's Predictor when specs use the usta controller,
+// or let RunScenario do it. See the Runner's fields (exported from
+// internal/fleet/net) for retry, admission and heartbeat tuning.
+func NewNetRunner(hosts []string) *fleetnet.Runner { return fleetnet.New(hosts) }
 
 // ShardWorkerMain serves a shard request over stdin/stdout and exits when
 // this process was spawned as a shard worker; otherwise it returns
@@ -318,8 +333,8 @@ func ScenarioShards(n int) ScenarioOption {
 
 // ScenarioRunner executes the sweep on a custom fleet Runner — e.g. a
 // NewShardRunner with an explicit worker Command, or NewBatchRunner. It
-// overrides ScenarioShards. A shard runner without a predictor is handed
-// the sweep's (supplied or self-trained) predictor automatically.
+// overrides ScenarioShards. A shard or net runner without a predictor is
+// handed the sweep's (supplied or self-trained) predictor automatically.
 func ScenarioRunner(r Runner) ScenarioOption {
 	return func(rc *scenarioRun) { rc.runner = r }
 }
@@ -418,9 +433,9 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 	}
 	if rc.batched && rc.runner != nil {
 		switch rc.runner.(type) {
-		case *shard.Runner, fleet.BatchRunner:
-			// Compatible: a shard runner gains batched workers below, and an
-			// explicit batch runner is simply what the option asks for.
+		case *shard.Runner, *fleetnet.Runner, fleet.BatchRunner:
+			// Compatible: shard and net runners gain batched workers below,
+			// and an explicit batch runner is simply what the option asks for.
 		default:
 			return nil, fmt.Errorf("repro: WithBatchedRunner cannot apply to a custom ScenarioRunner of type %T; pass NewBatchRunner() (or a shard runner) as the runner, or drop one of the options", rc.runner)
 		}
@@ -447,6 +462,16 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 			srCopy.Batched = true
 		}
 		fcfg.Runner = &srCopy
+	}
+	if nr, ok := fcfg.Runner.(*fleetnet.Runner); ok && (pred != nil || rc.batched) {
+		nrCopy := *nr
+		if pred != nil {
+			nrCopy.Predictor = pred
+		}
+		if rc.batched {
+			nrCopy.Batched = true
+		}
+		fcfg.Runner = &nrCopy
 	}
 	fl := fleet.New(fcfg)
 	results := fl.Run(ctx, grid.Jobs)
