@@ -42,6 +42,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool width per job (0 = GOMAXPROCS)")
 		rate    = flag.Float64("admit-rate", 0, "admission token refill rate in jobs/sec (0 = always admit)")
 		burst   = flag.Int("admit-burst", 1, "admission token bucket burst size")
+		fallbk  = flag.Bool("local-fallback", false, "with -hosts: when every worker host stays down past the recovery deadline, finish the remaining jobs on the in-process pool instead of failing them")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "ustafleetd: ", log.LstdFlags)
@@ -53,8 +54,11 @@ func main() {
 			hs[i] = strings.TrimSpace(hs[i])
 		}
 		nr := fleetnet.New(hs)
-		nr.Logf = logger.Printf
+		nr.Logf = logger.Printf // includes the per-run RunnerStats snapshot line
+		nr.FallbackLocal = *fallbk
 		runner = nr
+	} else if *fallbk {
+		logger.Print("warning: -local-fallback has no effect without -hosts")
 	}
 	js := fleetnet.NewJobServer(runner)
 	js.Workers = *workers
@@ -74,7 +78,9 @@ func main() {
 		js.Close()
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		srv.Shutdown(shCtx)
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Printf("drain: http shutdown: %v", err)
+		}
 	}()
 
 	logger.Printf("listening on %s (hosts: %s)", *listen, orDefault(*hosts, "in-process"))

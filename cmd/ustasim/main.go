@@ -53,6 +53,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
 		hosts      = flag.String("hosts", "", "comma-separated ustaworker -listen daemon addresses to dispatch the scenario to (overrides -shards); results are identical either way")
 		batch      = flag.Bool("batch", false, "run the scenario on the cohort-batched lockstep engine; results are identical, sweeps over shared device configs run faster")
+		fallbk     = flag.Bool("local-fallback", false, "with -hosts: when every host stays down past the coordinator's recovery deadline, finish the remaining jobs in-process instead of failing them")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -74,6 +75,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ustasim: -batch requires -scenario")
 		os.Exit(1)
 	}
+	if *fallbk && *hosts == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -local-fallback requires -hosts")
+		os.Exit(1)
+	}
 	if *jsonlPath != "" && *scenPath == "" {
 		fmt.Fprintln(os.Stderr, "ustasim: -jsonl requires -scenario")
 		os.Exit(1)
@@ -88,6 +93,7 @@ func main() {
 		scale: *scale, seed: *seed, corpusSec: *corpusSec,
 		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
 		workers: *workers, shards: *shards, hosts: *hosts, batch: *batch,
+		localFallback: *fallbk,
 	}
 	if err := realMain(opts); err != nil {
 		stopProfiles()
@@ -144,19 +150,20 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 // cliOptions carries the parsed flag values into realMain by value, so
 // the body reads plain fields instead of flag pointers.
 type cliOptions struct {
-	experiment string
-	scenPath   string
-	jsonlPath  string
-	scale      float64
-	seed       int64
-	corpusSec  float64
-	mlpEpochs  int
-	csvDir     string
-	repN       int
-	workers    int
-	shards     int
-	hosts      string
-	batch      bool
+	experiment    string
+	scenPath      string
+	jsonlPath     string
+	scale         float64
+	seed          int64
+	corpusSec     float64
+	mlpEpochs     int
+	csvDir        string
+	repN          int
+	workers       int
+	shards        int
+	hosts         string
+	batch         bool
+	localFallback bool
 }
 
 func realMain(o cliOptions) error {
@@ -176,7 +183,7 @@ func realMain(o cliOptions) error {
 		if flagErr != nil {
 			return flagErr
 		}
-		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.jsonlPath, o.csvDir, os.Stdout)
+		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.jsonlPath, o.csvDir, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()

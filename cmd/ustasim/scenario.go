@@ -21,7 +21,11 @@ import (
 // long-lived `ustaworker -listen` daemons over TCP (overriding shards),
 // and batch runs cohorts of grid cells in lockstep on the batched engine —
 // aggregates and streams are identical under every combination.
-func runScenario(path string, workers, shards int, hosts string, batch bool, jsonlPath, csvDir string, out io.Writer) error {
+// localFallback lets a hosts run finish on the in-process pool when every
+// host stays down past the coordinator's recovery deadline. Coordinator
+// recovery logs and the end-of-run stats snapshot go to stderr so stdout
+// stays byte-comparable across runner choices.
+func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, jsonlPath, csvDir string, out io.Writer) error {
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -45,7 +49,12 @@ func runScenario(path string, workers, shards int, hosts string, batch bool, jso
 		for i := range hs {
 			hs[i] = strings.TrimSpace(hs[i])
 		}
-		opts = append(opts, repro.ScenarioRunner(repro.NewNetRunner(hs)))
+		nr := repro.NewNetRunner(hs)
+		nr.FallbackLocal = localFallback
+		nr.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ustasim: "+format+"\n", args...)
+		}
+		opts = append(opts, repro.ScenarioRunner(nr))
 	case shards != 0:
 		opts = append(opts, repro.ScenarioShards(shards))
 	}

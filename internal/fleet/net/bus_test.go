@@ -1,0 +1,130 @@
+package net_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	fleetnet "repro/internal/fleet/net"
+	"repro/internal/sink"
+)
+
+// collect drains the full bus stream into "job:t" strings.
+func collect(t *testing.T, b *fleetnet.Bus) []string {
+	t.Helper()
+	var got []string
+	err := b.Stream(context.Background(), func(job int, s device.Sample) error {
+		got = append(got, fmt.Sprintf("%d:%g", job, s.TimeSec))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	return got
+}
+
+// TestBusDoubleClose: Close is idempotent — a second Close neither panics
+// nor disturbs subscribers that attached in between.
+func TestBusDoubleClose(t *testing.T) {
+	b := fleetnet.NewBus(2)
+	b.Accept(0, device.Sample{TimeSec: 1})
+	b.Accept(1, device.Sample{TimeSec: 2})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, b); len(got) != 2 || got[0] != "0:1" || got[1] != "1:2" {
+		t.Fatalf("stream after double close = %v", got)
+	}
+}
+
+// TestBusSubscribeAfterClose: a subscriber attaching after the run ended
+// still replays the complete ordered stream, and accepts arriving after
+// Close are dropped rather than corrupting the finalized record.
+func TestBusSubscribeAfterClose(t *testing.T) {
+	b := fleetnet.NewBus(3)
+	// Out-of-order arrival across jobs; in-order within each job.
+	b.Accept(2, device.Sample{TimeSec: 5})
+	b.Accept(0, device.Sample{TimeSec: 1})
+	b.Accept(1, device.Sample{TimeSec: 3})
+	b.Accept(1, device.Sample{TimeSec: 4})
+	b.Accept(0, device.Sample{TimeSec: 2})
+	b.Close()
+	b.Accept(0, device.Sample{TimeSec: 99})  // late sample: dropped
+	b.Accept(-1, device.Sample{TimeSec: 99}) // out of range: dropped
+	b.Accept(3, device.Sample{TimeSec: 99})  // out of range: dropped
+	b.Finish(7)                              // out of range: no-op
+
+	want := []string{"0:1", "0:2", "1:3", "1:4", "2:5"}
+	got := collect(t, b)
+	if len(got) != len(want) {
+		t.Fatalf("stream = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestBusStreamCancelNoLeak: subscribers blocked on a live bus unwind on
+// context cancellation instead of leaking with the cond var forever.
+func TestBusStreamCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	b := fleetnet.NewBus(1) // never closed, never finished: streams must block
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Stream(ctx, func(int, device.Sample) error { return nil })
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let them park in cond.Wait
+	cancel()
+	wg.Wait()
+	for i, err := range errs {
+		if err != context.Canceled {
+			t.Fatalf("subscriber %d returned %v, want context.Canceled", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d now", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBusAcceptIsSink compiles the Bus against the sink contract it claims
+// to implement and exercises a live tail: samples accepted while a
+// subscriber is mid-stream are delivered without re-subscribing.
+func TestBusAcceptIsSink(t *testing.T) {
+	var _ sink.Sink = fleetnet.NewBus(0)
+
+	b := fleetnet.NewBus(2)
+	got := make(chan string, 16)
+	go b.Stream(context.Background(), func(job int, s device.Sample) error {
+		got <- fmt.Sprintf("%d:%g", job, s.TimeSec)
+		return nil
+	})
+	b.Accept(0, device.Sample{TimeSec: 1})
+	if v := <-got; v != "0:1" {
+		t.Fatalf("live tail delivered %q, want 0:1", v)
+	}
+	b.Finish(0)
+	b.Accept(1, device.Sample{TimeSec: 2})
+	if v := <-got; v != "1:2" {
+		t.Fatalf("live tail delivered %q, want 1:2", v)
+	}
+	b.Close()
+}

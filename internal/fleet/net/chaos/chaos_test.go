@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: same seed → identical plan sequence; different
+// seeds diverge somewhere in the first few connections.
+func TestScheduleDeterminism(t *testing.T) {
+	a := NewSchedule(42, 1000)
+	b := NewSchedule(42, 1000)
+	for i := 0; i < 64; i++ {
+		pa, pb := a.PlanFor(i), b.PlanFor(i)
+		if pa != pb {
+			t.Fatalf("conn %d: plans diverged under the same seed: %+v vs %+v", i, pa, pb)
+		}
+	}
+	c := NewSchedule(43, 1000)
+	same := true
+	for i := 0; i < 64; i++ {
+		if NewSchedule(42, 1000).PlanFor(i) != c.PlanFor(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 64-plan prefixes")
+	}
+}
+
+// TestScheduleBudget: once the fault budget is spent, every plan is
+// clean — the taper that guarantees chaotic runs terminate.
+func TestScheduleBudget(t *testing.T) {
+	s := NewSchedule(7, 3)
+	faults := 0
+	for i := 0; i < 200; i++ {
+		if s.PlanFor(i).Kind != FaultNone {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("budget of 3 allowed %d faults", faults)
+	}
+}
+
+// TestScheduleMix: a large sample draws every fault kind, and fault
+// parameters stay in their documented ranges.
+func TestScheduleMix(t *testing.T) {
+	kinds := map[string]int{}
+	for i := 0; i < 500; i++ {
+		p := rawPlan(99, i)
+		kinds[p.Kind]++
+		if p.DropAfterFrames < 0 || p.CorruptFrame < 0 || p.TruncateFrame < 0 {
+			t.Fatalf("conn %d: negative frame index: %+v", i, p)
+		}
+		if p.Kind == FaultDelay && (p.Delay <= 0 || p.Delay > 20*time.Millisecond) {
+			t.Fatalf("conn %d: delay out of range: %v", i, p.Delay)
+		}
+	}
+	for _, k := range []string{FaultNone, FaultRefuse, FaultDrop, FaultCorrupt, FaultTruncate, FaultDelay} {
+		if kinds[k] == 0 {
+			t.Fatalf("500 plans never drew %s (mix: %v)", k, kinds)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package net_test
+
+// Chaos-harness integration tests: the self-healing contract of the
+// networked runner, proven under deterministic fault injection. Every
+// test in this file routes real TCP worker daemons through
+// internal/fleet/net/chaos proxies and asserts the three invariants that
+// survive any seeded schedule: results and telemetry byte-identical to
+// LocalRunner, telemetry exactly-once despite retries and hedges, and
+// jobs failing only when their retry budget is genuinely exhausted.
+
+import (
+	"context"
+	"fmt"
+	stdnet "net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	fleetnet "repro/internal/fleet/net"
+	"repro/internal/fleet/net/chaos"
+)
+
+// chaosProxy fronts a backend with a fault-injecting proxy torn down with
+// the test.
+func chaosProxy(t *testing.T, backend string, sched *chaos.Schedule) *chaos.Proxy {
+	t.Helper()
+	p, err := chaos.Start(backend, sched, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// localRef runs the reference batch on LocalRunner and returns results +
+// telemetry fingerprint.
+func localRef(t *testing.T, cfg fleet.Config, n int) ([]fleet.JobResult, *tally) {
+	t.Helper()
+	tl := newTally()
+	c := cfg
+	c.Sink = tl.sink()
+	ref := fleet.LocalRunner{}.Run(context.Background(), c, specJobs(n, true))
+	if err := fleet.FirstError(ref); err != nil {
+		t.Fatal(err)
+	}
+	return ref, tl
+}
+
+// assertIdentical checks results and telemetry byte-identity against the
+// local reference.
+func assertIdentical(t *testing.T, label string, ref, got []fleet.JobResult, refTally, gotTally *tally) {
+	t.Helper()
+	if err := fleet.FirstError(got); err != nil {
+		t.Fatalf("%s: run should fully recover: %v", label, err)
+	}
+	for i := range ref {
+		a, b := ref[i], got[i]
+		if b.Index != a.Index || b.Name != a.Name || b.SeedUsed != a.SeedUsed {
+			t.Fatalf("%s: job %d metadata diverged: %+v vs %+v", label, i, b, a)
+		}
+		if b.Result.EnergyJ != a.Result.EnergyJ || b.Result.MaxSkinC != a.Result.MaxSkinC ||
+			b.Result.AvgFreqMHz != a.Result.AvgFreqMHz || b.Result.WorkDone != a.Result.WorkDone {
+			t.Fatalf("%s: job %d aggregates diverged", label, i)
+		}
+	}
+	for i := range ref {
+		if gotTally.counts[i] != refTally.counts[i] || gotTally.sums[i] != refTally.sums[i] {
+			t.Fatalf("%s: job %d telemetry diverged: %d/%v samples vs local %d/%v",
+				label, i, gotTally.counts[i], gotTally.sums[i], refTally.counts[i], refTally.sums[i])
+		}
+	}
+}
+
+// fastRecovery returns a runner tuned for test-speed backoff/breaker
+// cycles.
+func fastRecovery(hosts []string) *fleetnet.Runner {
+	nr := fleetnet.New(hosts)
+	nr.BackoffBase = 10 * time.Millisecond
+	nr.BackoffMax = 100 * time.Millisecond
+	nr.BreakerCooldown = 50 * time.Millisecond
+	return nr
+}
+
+// TestChaosByteIdentity is the headline acceptance test: for every
+// seeded fault schedule — dial refusals, mid-stream drops, corrupted and
+// truncated frames, jittery links — Table-1-style results and per-job
+// telemetry through two chaotic hosts are byte-identical to LocalRunner.
+func TestChaosByteIdentity(t *testing.T) {
+	const n = 10
+	cfg := fleet.Config{Workers: 2, Seed: 42}
+	ref, refTally := localRef(t, cfg, n)
+
+	for _, seed := range []int64{1, 2, 7, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			b1 := startServer(t, &fleetnet.Server{Capacity: 2})
+			b2 := startServer(t, &fleetnet.Server{Capacity: 2})
+			p1 := chaosProxy(t, b1, chaos.NewSchedule(seed, 6))
+			p2 := chaosProxy(t, b2, chaos.NewSchedule(seed+1000, 6))
+
+			nr := fastRecovery([]string{p1.Addr(), p2.Addr()})
+			nr.ShardSize = 2
+			nr.MaxRetries = 100 // fail only on genuine exhaustion, never under a bounded fault budget
+			nr.HeartbeatTimeout = 2 * time.Second
+			nr.Logf = t.Logf
+			tl := newTally()
+			c := cfg
+			c.Sink = tl.sink()
+			got := nr.Run(context.Background(), c, specJobs(n, true))
+			assertIdentical(t, fmt.Sprintf("seed %d", seed), ref, got, refTally, tl)
+			s1, s2 := p1.Stats(), p2.Stats()
+			t.Logf("chaos stats: p1=%+v p2=%+v runner=%s", s1, s2, nr.Stats())
+		})
+	}
+}
+
+// TestChaosSingleHostRecovery is the transient-disconnect acceptance
+// criterion: a single-host inventory whose connection is cut mid-stream
+// (twice) completes the run with zero failed jobs — the host recovers
+// via backoff redial instead of being retired.
+func TestChaosSingleHostRecovery(t *testing.T) {
+	const n = 6
+	cfg := fleet.Config{Workers: 1, Seed: 9}
+	ref, refTally := localRef(t, cfg, n)
+
+	backend := startServer(t, &fleetnet.Server{Capacity: 1})
+	sched := &chaos.Schedule{Override: func(conn int) (chaos.Plan, bool) {
+		if conn < 2 {
+			// Cut after the hello plus a couple of frames: a classic
+			// network blip mid-shard.
+			return chaos.Plan{Kind: chaos.FaultDrop, DropAfterFrames: 3}, true
+		}
+		return chaos.Plan{Kind: chaos.FaultNone}, true
+	}}
+	p := chaosProxy(t, backend, sched)
+
+	nr := fastRecovery([]string{p.Addr()})
+	nr.ShardSize = 2
+	nr.MaxRetries = 10
+	nr.Logf = t.Logf
+	tl := newTally()
+	c := cfg
+	c.Sink = tl.sink()
+	got := nr.Run(context.Background(), c, specJobs(n, true))
+	assertIdentical(t, "single-host recovery", ref, got, refTally, tl)
+
+	st := nr.Stats()
+	if len(st.Hosts) != 1 || st.Hosts[0].Redials < 1 {
+		t.Fatalf("host should have recovered via redial, stats: %s", st)
+	}
+}
+
+// TestChaosBlackoutAndRestart: the worker daemon is killed and restarted
+// mid-run while its listener also goes dark for a dial window — the run
+// rides it out and stays byte-identical.
+func TestChaosBlackoutAndRestart(t *testing.T) {
+	const n = 8
+	cfg := fleet.Config{Workers: 1, Seed: 11}
+	ref, refTally := localRef(t, cfg, n)
+
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backendAddr := ln.Addr().String()
+	worker := &fleetnet.Server{Capacity: 1}
+	serveDone := make(chan struct{})
+	go func() { worker.Serve(context.Background(), ln); close(serveDone) }()
+
+	sched := &chaos.Schedule{Override: func(int) (chaos.Plan, bool) {
+		return chaos.Plan{Kind: chaos.FaultNone}, true
+	}}
+	p := chaosProxy(t, backendAddr, sched)
+	// Dials 1-2 land in a listener blackout: after the restart kill below,
+	// the first redial attempts see a dark port before the new daemon is
+	// up.
+	p.SetBlackout(1, 3)
+
+	nr := fastRecovery([]string{p.Addr()})
+	nr.ShardSize = 2
+	nr.MaxRetries = 20
+	nr.Logf = t.Logf
+
+	// Restart the worker after the second result: kill the daemon, then
+	// bring a fresh one up on the same address. Event-driven, so the
+	// restart always lands mid-run.
+	var results32 atomic.Int32
+	restarted := make(chan struct{})
+	var worker2 *fleetnet.Server
+	serve2Done := make(chan struct{})
+	c := cfg
+	tl := newTally()
+	c.Sink = tl.sink()
+	c.OnResult = func(fleet.JobResult) {
+		if results32.Add(1) != 2 {
+			return
+		}
+		go func() {
+			defer close(restarted)
+			worker.Shutdown()
+			<-serveDone
+			// The port is free once the old daemon exits; a fresh daemon
+			// takes over the same address.
+			ln2, err := stdnet.Listen("tcp", backendAddr)
+			if err != nil {
+				t.Errorf("restart listen: %v", err)
+				close(serve2Done)
+				return
+			}
+			worker2 = &fleetnet.Server{Capacity: 1}
+			go func() { worker2.Serve(context.Background(), ln2); close(serve2Done) }()
+		}()
+	}
+	got := nr.Run(context.Background(), c, specJobs(n, true))
+	<-restarted
+	assertIdentical(t, "blackout+restart", ref, got, refTally, tl)
+	if worker2 != nil {
+		worker2.Shutdown()
+		<-serve2Done
+	}
+	if bs := p.Stats(); bs.Blackout == 0 {
+		t.Logf("note: no dial landed in the blackout window (stats %+v)", bs)
+	}
+}
+
+// TestChaosRetriesExhausted: under a schedule hostile enough that no
+// attempt can ever stream a result, jobs fail — and they fail with the
+// retries-exhausted cause, not a mystery error or a hang.
+func TestChaosRetriesExhausted(t *testing.T) {
+	backend := startServer(t, &fleetnet.Server{Capacity: 1})
+	sched := &chaos.Schedule{Override: func(int) (chaos.Plan, bool) {
+		// Every connection dies right after the hello: the handshake
+		// succeeds, the shard never streams back.
+		return chaos.Plan{Kind: chaos.FaultDrop, DropAfterFrames: 1}, true
+	}}
+	p := chaosProxy(t, backend, sched)
+
+	nr := fastRecovery([]string{p.Addr()})
+	nr.ShardSize = 2
+	nr.MaxRetries = 2
+	nr.Logf = t.Logf
+	start := time.Now()
+	results := nr.Run(context.Background(), fleet.Config{Workers: 1, Seed: 3}, specJobs(4, true))
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("exhaustion took %v; the run should fail fast once retries are spent", elapsed)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("job %d succeeded through a link that never delivers results", i)
+		}
+		if !strings.Contains(r.Err.Error(), "retries exhausted") {
+			t.Fatalf("job %d failed with %q, want a retries-exhausted cause", i, r.Err)
+		}
+	}
+}
+
+// TestChaosLocalFallback: with every dial refused and FallbackLocal set,
+// the run degrades to the in-process LocalRunner after AllDeadDeadline —
+// and because seeds were resolved before dispatch, the fallback output is
+// byte-identical to the reference.
+func TestChaosLocalFallback(t *testing.T) {
+	const n = 6
+	cfg := fleet.Config{Workers: 2, Seed: 21}
+	ref, refTally := localRef(t, cfg, n)
+
+	backend := startServer(t, &fleetnet.Server{Capacity: 1})
+	sched := &chaos.Schedule{Override: func(int) (chaos.Plan, bool) {
+		return chaos.Plan{Kind: chaos.FaultRefuse, RefuseDial: true}, true
+	}}
+	p := chaosProxy(t, backend, sched)
+
+	nr := fastRecovery([]string{p.Addr()})
+	nr.FallbackLocal = true
+	nr.AllDeadDeadline = 300 * time.Millisecond
+	nr.Logf = t.Logf
+	tl := newTally()
+	c := cfg
+	c.Sink = tl.sink()
+	got := nr.Run(context.Background(), c, specJobs(n, true))
+	assertIdentical(t, "local fallback", ref, got, refTally, tl)
+
+	st := nr.Stats()
+	if !st.FallbackUsed || st.FallbackJobs != n {
+		t.Fatalf("expected all %d jobs on the local fallback, stats: %s", n, st)
+	}
+}
+
+// TestChaosHedgedDispatch: a shard stuck behind a molasses link gets
+// speculatively re-dispatched to the idle healthy host once it exceeds
+// HedgeAfter; the first reporter wins, telemetry stays exactly-once, and
+// the results are byte-identical.
+func TestChaosHedgedDispatch(t *testing.T) {
+	const n = 4
+	cfg := fleet.Config{Workers: 1, Seed: 5}
+	ref, refTally := localRef(t, cfg, n)
+
+	slowBackend := startServer(t, &fleetnet.Server{Capacity: 1})
+	sched := &chaos.Schedule{Override: func(int) (chaos.Plan, bool) {
+		// Alive but glacial: every frame crawls, heartbeats included, so
+		// the connection never trips the heartbeat deadline — only the
+		// hedge can rescue the shard.
+		return chaos.Plan{Kind: chaos.FaultDelay, DelayEvery: 1, Delay: 150 * time.Millisecond}, true
+	}}
+	slow := chaosProxy(t, slowBackend, sched)
+	// The healthy host starts late so the molasses host is guaranteed to
+	// claim the first shard; the healthy host then drains the queue and
+	// goes idle — the hedge precondition.
+	healthyBackend := startServer(t, &fleetnet.Server{Capacity: 1})
+	healthy := startSlowProxy(t, healthyBackend, 400*time.Millisecond)
+
+	nr := fleetnet.New([]string{slow.Addr(), healthy})
+	nr.ShardSize = 2
+	nr.HedgeAfter = 200 * time.Millisecond
+	nr.Logf = t.Logf
+	tl := newTally()
+	c := cfg
+	c.Sink = tl.sink()
+	got := nr.Run(context.Background(), c, specJobs(n, true))
+	assertIdentical(t, "hedged dispatch", ref, got, refTally, tl)
+
+	st := nr.Stats()
+	if st.Hedges < 1 {
+		t.Fatalf("expected at least one hedge, stats: %s", st)
+	}
+	t.Logf("hedge stats: %s", st)
+}
+
+// TestChaosNoGoroutineLeaks: a chaotic run — drops, redials, breaker
+// cycles — unwinds to the baseline goroutine count once daemons shut
+// down. Mirrors TestNoGoroutineLeaks for the recovery machinery.
+func TestChaosNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s1 := &fleetnet.Server{Capacity: 2}
+	ln1, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan struct{})
+	go func() { s1.Serve(context.Background(), ln1); close(done1) }()
+	sched := chaos.NewSchedule(77, 4)
+	p, err := chaos.Start(ln1.Addr().String(), sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nr := fastRecovery([]string{p.Addr()})
+	nr.ShardSize = 2
+	nr.MaxRetries = 50
+	if err := fleet.FirstError(nr.Run(context.Background(), fleet.Config{Workers: 1, Seed: 13}, specJobs(4, true))); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	s1.Shutdown()
+	<-done1
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			nb := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:nb])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

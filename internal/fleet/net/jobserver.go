@@ -160,7 +160,10 @@ func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		// Drains are brief: tell clients when to retry instead of letting
+		// the closing listener cut them off mid-flight.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server draining; retry against a live replica")
 		return
 	}
 	s.seq++

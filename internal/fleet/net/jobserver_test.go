@@ -270,6 +270,40 @@ func TestJobServerShutdownMidRun(t *testing.T) {
 	}
 }
 
+// TestJobServerDrainLifecycle: once Close begins draining, new
+// submissions get 503 with a Retry-After hint, a second Close is
+// harmless, and finished jobs stay queryable for stragglers.
+func TestJobServerDrainLifecycle(t *testing.T) {
+	js := fleetnet.NewJobServer(nil)
+	js.Workers = 1
+	ts := httptest.NewServer(js.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts, e2eSpec)
+	if got := waitStatus(t, ts, id); got["status"] != "done" {
+		t.Fatalf("pre-drain job finished %v", got)
+	}
+	js.Close()
+	js.Close() // idempotent
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(e2eSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining 503 carries no Retry-After header")
+	}
+
+	// The drained server still answers status queries for finished jobs.
+	if got := poll(t, ts, id); got["status"] != "done" {
+		t.Fatalf("post-drain status = %v, want done", got["status"])
+	}
+}
+
 // startWorkerForLeakTest is startServer without t.Cleanup (the test
 // shuts the server down itself to measure goroutines afterwards).
 func startWorkerForLeakTest(t *testing.T, s *fleetnet.Server) string {

@@ -256,10 +256,18 @@ func NewShardRunner(n int) *shard.Runner { return shard.New(n) }
 // re-dispatches only the jobs whose results never arrived. Seeds are
 // resolved coordinator-side from job position, so a distributed run is
 // byte-identical to the in-process runner — including after a mid-shard
-// worker death and retry. Jobs must carry a JobSpec (scenario-expanded
-// jobs do); set the runner's Predictor when specs use the usta controller,
-// or let RunScenario do it. See the Runner's fields (exported from
-// internal/fleet/net) for retry, admission and heartbeat tuning.
+// worker death and retry. Hosts are self-healing: a dead host is redialed
+// with exponential backoff and seeded jitter behind a circuit breaker
+// (half-open probe after cooldown) and re-admitted mid-run; straggler
+// shards are hedged onto idle hosts with first-reporter-wins dedup
+// (telemetry stays exactly-once); and with FallbackLocal set, a run whose
+// hosts all stay down past AllDeadDeadline finishes on the in-process
+// pool instead of failing — still byte-identical, seeds were already
+// pinned. Jobs must carry a JobSpec (scenario-expanded jobs do); set the
+// runner's Predictor when specs use the usta controller, or let
+// RunScenario do it. See the Runner's fields (exported from
+// internal/fleet/net) for retry, backoff, breaker, hedging, admission and
+// heartbeat tuning, and Runner.Stats for the per-run recovery snapshot.
 func NewNetRunner(hosts []string) *fleetnet.Runner { return fleetnet.New(hosts) }
 
 // ShardWorkerMain serves a shard request over stdin/stdout and exits when
