@@ -6,9 +6,14 @@
 //	ustafleetd -listen :8080 -hosts hostA:9000,hostB:9000
 //
 //	POST /jobs                  submit a scenario spec (JSON body) → {"id": ...}
+//	GET  /jobs                  list submitted jobs, submission order
 //	GET  /jobs/{id}             status, progress, and (when done) analytics
 //	POST /jobs/{id}/cancel      abort a running job
 //	GET  /jobs/{id}/telemetry   JSONL samples merged into submission order
+//	GET  /jobs/{id}/events      SSE stream of live aggregate snapshots
+//	GET  /metrics               Prometheus text exposition
+//	GET  /fleet                 merged per-host recovery/saturation table
+//	GET  /                      embedded live dashboard
 //
 // With -hosts, jobs dispatch to long-lived `ustaworker -listen` daemons
 // through the networked coordinator; without it they run on the local

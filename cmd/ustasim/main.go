@@ -54,6 +54,7 @@ func main() {
 		hosts      = flag.String("hosts", "", "comma-separated ustaworker -listen daemon addresses to dispatch the scenario to (overrides -shards); results are identical either way")
 		batch      = flag.Bool("batch", false, "run the scenario on the cohort-batched lockstep engine; results are identical, sweeps over shared device configs run faster")
 		fallbk     = flag.Bool("local-fallback", false, "with -hosts: when every host stays down past the coordinator's recovery deadline, finish the remaining jobs in-process instead of failing them")
+		statsJSON  = flag.String("stats-json", "", "with -hosts: write the coordinator's end-of-run RunnerStats snapshot (redials, hedges, breaker states) to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -79,6 +80,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ustasim: -local-fallback requires -hosts")
 		os.Exit(1)
 	}
+	if *statsJSON != "" && *hosts == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -stats-json requires -hosts")
+		os.Exit(1)
+	}
 	if *jsonlPath != "" && *scenPath == "" {
 		fmt.Fprintln(os.Stderr, "ustasim: -jsonl requires -scenario")
 		os.Exit(1)
@@ -93,7 +98,7 @@ func main() {
 		scale: *scale, seed: *seed, corpusSec: *corpusSec,
 		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
 		workers: *workers, shards: *shards, hosts: *hosts, batch: *batch,
-		localFallback: *fallbk,
+		localFallback: *fallbk, statsPath: *statsJSON,
 	}
 	if err := realMain(opts); err != nil {
 		stopProfiles()
@@ -164,6 +169,7 @@ type cliOptions struct {
 	hosts         string
 	batch         bool
 	localFallback bool
+	statsPath     string
 }
 
 func realMain(o cliOptions) error {
@@ -183,7 +189,7 @@ func realMain(o cliOptions) error {
 		if flagErr != nil {
 			return flagErr
 		}
-		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.jsonlPath, o.csvDir, os.Stdout)
+		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.jsonlPath, o.csvDir, o.statsPath, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -24,8 +25,9 @@ import (
 // localFallback lets a hosts run finish on the in-process pool when every
 // host stays down past the coordinator's recovery deadline. Coordinator
 // recovery logs and the end-of-run stats snapshot go to stderr so stdout
-// stays byte-comparable across runner choices.
-func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, jsonlPath, csvDir string, out io.Writer) error {
+// stays byte-comparable across runner choices; statsPath additionally
+// dumps that end-of-run RunnerStats snapshot as JSON for tooling.
+func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, jsonlPath, csvDir, statsPath string, out io.Writer) error {
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -43,6 +45,7 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 			}
 		}),
 	}
+	var writeStats func() error
 	switch {
 	case hosts != "":
 		hs := strings.Split(hosts, ",")
@@ -55,6 +58,15 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 			fmt.Fprintf(os.Stderr, "ustasim: "+format+"\n", args...)
 		}
 		opts = append(opts, repro.ScenarioRunner(nr))
+		if statsPath != "" {
+			writeStats = func() error {
+				data, err := json.MarshalIndent(nr.Stats(), "", "  ")
+				if err != nil {
+					return err
+				}
+				return os.WriteFile(statsPath, append(data, '\n'), 0o644)
+			}
+		}
 	case shards != 0:
 		opts = append(opts, repro.ScenarioShards(shards))
 	}
@@ -83,6 +95,13 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 	res, err := repro.RunScenario(context.Background(), spec, opts...)
 	if err != nil {
 		return err
+	}
+	if writeStats != nil {
+		// Written before the first-error check: the recovery counters are
+		// most interesting precisely when some jobs failed.
+		if err := writeStats(); err != nil {
+			return fmt.Errorf("stats snapshot %s: %w", statsPath, err)
+		}
 	}
 	if jsonlSink != nil {
 		if err := jsonlSink.Close(); err != nil {

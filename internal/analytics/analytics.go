@@ -88,6 +88,43 @@ func FirstError(stats []JobStat) error {
 	return nil
 }
 
+// ViolationAccum is the incremental per-job over-limit counter behind
+// ViolationSink — one job's running (samples, over-limit samples, summed
+// excess) triple, folded one skin sample at a time. It is exported so live
+// aggregators (internal/obs) fold the exact same arithmetic, in the exact
+// same order, as the post-hoc path: equality of the two is what pins the
+// streaming dashboard to the repo's determinism guarantees. The zero value
+// is ready to use; the caller owns synchronization.
+type ViolationAccum struct {
+	N      int
+	Over   int
+	Excess float64
+}
+
+// Add folds one skin-temperature sample measured against limitC.
+func (a *ViolationAccum) Add(skinC, limitC float64) {
+	a.N++
+	if skinC > limitC {
+		a.Over++
+		a.Excess += skinC - limitC
+	}
+}
+
+// ApplyTo fills st's OverFrac/MeanExcessC from the accumulated counters —
+// the same reduction Flatten performs over a retained trace. A counter
+// that saw no samples leaves st untouched (OverFrac stays NaN).
+func (a *ViolationAccum) ApplyTo(st *JobStat) {
+	if a.N == 0 {
+		return
+	}
+	st.OverFrac = float64(a.Over) / float64(a.N)
+	if a.Over > 0 {
+		st.MeanExcessC = a.Excess / float64(a.Over)
+	} else {
+		st.MeanExcessC = 0
+	}
+}
+
 // ViolationSink accumulates per-job over-limit statistics from a telemetry
 // stream — the trace-free path to OverFrac/MeanExcessC. Construct it from
 // the grid's per-job limits, wire it as (or into) the fleet sink, then
@@ -99,9 +136,7 @@ func FirstError(stats []JobStat) error {
 // Apply. Do not call Accept concurrently for the same job.
 type ViolationSink struct {
 	limits []float64
-	n      []int
-	over   []int
-	excess []float64
+	acc    []ViolationAccum
 }
 
 // NewViolationSink creates a sink measuring each job's skin samples
@@ -109,9 +144,7 @@ type ViolationSink struct {
 func NewViolationSink(limits []float64) *ViolationSink {
 	return &ViolationSink{
 		limits: limits,
-		n:      make([]int, len(limits)),
-		over:   make([]int, len(limits)),
-		excess: make([]float64, len(limits)),
+		acc:    make([]ViolationAccum, len(limits)),
 	}
 }
 
@@ -122,11 +155,7 @@ func (v *ViolationSink) Accept(job sink.JobID, s device.Sample) {
 	if i < 0 || i >= len(v.limits) {
 		return
 	}
-	v.n[i]++
-	if s.SkinC > v.limits[i] {
-		v.over[i]++
-		v.excess[i] += s.SkinC - v.limits[i]
-	}
+	v.acc[i].Add(s.SkinC, v.limits[i])
 }
 
 // Close is a no-op; the sink holds no external resources.
@@ -139,15 +168,10 @@ func (v *ViolationSink) Close() error { return nil }
 func (v *ViolationSink) Apply(stats []JobStat) {
 	for i := range stats {
 		idx := stats[i].Index
-		if idx < 0 || idx >= len(v.n) || v.n[idx] == 0 {
+		if idx < 0 || idx >= len(v.acc) {
 			continue
 		}
-		stats[i].OverFrac = float64(v.over[idx]) / float64(v.n[idx])
-		if v.over[idx] > 0 {
-			stats[i].MeanExcessC = v.excess[idx] / float64(v.over[idx])
-		} else {
-			stats[i].MeanExcessC = 0
-		}
+		v.acc[idx].ApplyTo(&stats[i])
 	}
 }
 

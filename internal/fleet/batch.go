@@ -50,13 +50,21 @@ type BatchRunner struct {
 	// removes that: run N+1 reuses run N's phones. The zero value keeps
 	// the old per-Run scope.
 	pool *phonePool
+
+	// lsPool, when non-nil, recycles lockstep state blocks across waves
+	// and Run calls (NewBatchRunner sets it alongside the phone pool): a
+	// wave re-enrolls a pooled block via thermal.Lockstep.Reset instead
+	// of allocating a fresh arena. nil keeps per-wave allocation.
+	lsPool *lockstepPool
 }
 
 // NewBatchRunner returns a BatchRunner whose phone pool persists across
 // Run calls — the configuration every long-lived caller (benchmarks,
 // scenario services, worker daemons) wants. The runner is a value; copies
 // share the pool, and concurrent Runs are safe.
-func NewBatchRunner() BatchRunner { return BatchRunner{pool: newPersistentPhonePool()} }
+func NewBatchRunner() BatchRunner {
+	return BatchRunner{pool: newPersistentPhonePool(), lsPool: &lockstepPool{}}
+}
 
 // cohortKey groups jobs that can advance in lockstep: identical thermal
 // propagator source (conductance fingerprint of the freshly built device),
@@ -151,7 +159,7 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 
 	ForEach(len(waves)+len(solo), cfg.Workers, func(u int) {
 		if u < len(waves) {
-			runWave(ctx, &cfg, pool, jobs, waves[u], results, report)
+			runWave(ctx, &cfg, pool, r.lsPool, jobs, waves[u], results, report)
 			return
 		}
 		i := solo[u-len(waves)]
@@ -200,7 +208,7 @@ func soloTicks(ctx context.Context, cfg *Config, pool *phonePool, lr *liveRun, r
 }
 
 // runWave executes one cohort wave in lockstep.
-func runWave(ctx context.Context, cfg *Config, pool *phonePool, jobs []Job, idxs []int, results []JobResult, report func(JobResult)) {
+func runWave(ctx context.Context, cfg *Config, pool *phonePool, lsp *lockstepPool, jobs []Job, idxs []int, results []JobResult, report func(JobResult)) {
 	live := make([]liveRun, 0, len(idxs))
 	for _, i := range idxs {
 		job := &jobs[i]
@@ -250,7 +258,7 @@ func runWave(ctx context.Context, cfg *Config, pool *phonePool, jobs []Job, idxs
 	for li := range live {
 		nets[li] = live[li].phone.Network()
 	}
-	ls, err := thermal.NewLockstep(nets)
+	ls, err := lsp.get(nets)
 	if err != nil {
 		for li := range live {
 			soloTicks(ctx, cfg, pool, &live[li], results, report)
@@ -261,6 +269,7 @@ func runWave(ctx context.Context, cfg *Config, pool *phonePool, jobs []Job, idxs
 	for tick := 0; tick < steps; tick++ {
 		if err := ctx.Err(); err != nil {
 			ls.Close()
+			lsp.put(ls)
 			for li := range live {
 				finishRun(cfg, pool, &live[li], err, results, report)
 			}
@@ -275,6 +284,7 @@ func runWave(ctx context.Context, cfg *Config, pool *phonePool, jobs []Job, idxs
 		}
 	}
 	ls.Close()
+	lsp.put(ls)
 	for li := range live {
 		finishRun(cfg, pool, &live[li], nil, results, report)
 	}

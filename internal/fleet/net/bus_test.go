@@ -105,6 +105,72 @@ func TestBusStreamCancelNoLeak(t *testing.T) {
 	}
 }
 
+// TestBusSlowSubscriberDoesNotBlock: the bus is pull-based, so a
+// subscriber stalled inside its callback must not back-pressure the
+// producer (Accept/Finish/Close stay non-blocking — job execution never
+// waits on a telemetry reader) or starve other subscribers.
+func TestBusSlowSubscriberDoesNotBlock(t *testing.T) {
+	const jobs, perJob = 3, 50
+	b := fleetnet.NewBus(jobs)
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	slowDone := make(chan int, 1)
+	go func() {
+		n, first := 0, true
+		b.Stream(context.Background(), func(int, device.Sample) error {
+			if first {
+				first = false
+				close(stalled)
+				<-release // park mid-callback while the producer runs
+			}
+			n++
+			return nil
+		})
+		slowDone <- n
+	}()
+
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		for i := 0; i < perJob; i++ {
+			for j := 0; j < jobs; j++ {
+				b.Accept(sink.JobID(j), device.Sample{TimeSec: float64(i)})
+			}
+		}
+		for j := 0; j < jobs; j++ {
+			b.Finish(j)
+		}
+		b.Close()
+	}()
+	select {
+	case <-stalled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow subscriber never received a sample")
+	}
+	select {
+	case <-prodDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer blocked by a stalled subscriber")
+	}
+
+	// A second subscriber drains the complete stream while the first is
+	// still parked.
+	if got := collect(t, b); len(got) != jobs*perJob {
+		t.Fatalf("healthy subscriber saw %d samples, want %d", len(got), jobs*perJob)
+	}
+
+	close(release)
+	select {
+	case n := <-slowDone:
+		if n != jobs*perJob {
+			t.Fatalf("slow subscriber caught up to %d samples, want %d", n, jobs*perJob)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow subscriber never caught up after release")
+	}
+}
+
 // TestBusAcceptIsSink compiles the Bus against the sink contract it claims
 // to implement and exercises a live tail: samples accepted while a
 // subscriber is mid-stream are delivered without re-subscribing.

@@ -328,6 +328,157 @@ func TestChaosHedgedDispatch(t *testing.T) {
 	t.Logf("hedge stats: %s", st)
 }
 
+// assertStatsConsistent checks the invariants every RunnerStats snapshot
+// must satisfy after a completed run, whatever the fault schedule:
+// exactly-once item settlement, redials bounded by dial attempts, hedge
+// wins bounded by hedges, and only legal breaker states.
+func assertStatsConsistent(t *testing.T, st fleetnet.RunnerStats, wantItems int) {
+	t.Helper()
+	if st.HedgeWins > st.Hedges {
+		t.Fatalf("hedge wins %d > hedges %d", st.HedgeWins, st.Hedges)
+	}
+	if !st.FallbackUsed && st.FallbackJobs != 0 {
+		t.Fatalf("fallback jobs %d without fallback used", st.FallbackJobs)
+	}
+	items := 0
+	for _, h := range st.Hosts {
+		switch h.Breaker {
+		case fleetnet.BreakerClosed, fleetnet.BreakerHalfOpen, fleetnet.BreakerOpen:
+		default:
+			t.Fatalf("host %s: illegal breaker state %q", h.Addr, h.Breaker)
+		}
+		if h.Redials > 0 && h.ConnectAttempts < h.Redials+1 {
+			// Every redial is a successful reconnect, so it implies its own
+			// dial attempt plus the generation-zero connect before it.
+			t.Fatalf("host %s: %d redials but only %d dial attempts", h.Addr, h.Redials, h.ConnectAttempts)
+		}
+		if h.SlotsConnected > h.Capacity {
+			t.Fatalf("host %s: %d slots connected > capacity %d", h.Addr, h.SlotsConnected, h.Capacity)
+		}
+		items += h.ItemsCompleted
+	}
+	// First-reporter-wins settles each shard at most once, so the sum is
+	// bounded by the shard count — but a stream lost after its final
+	// result requeues nothing and credits nobody, so it may undercount.
+	if !st.FallbackUsed && (items < 1 || items > wantItems) {
+		t.Fatalf("items completed sum %d, want within [1, %d]", items, wantItems)
+	}
+}
+
+// TestChaosRunnerStatsConsistency: the recovery counters the
+// observability surface republishes are themselves trustworthy. Three
+// deterministic fault schedules each drive one counter family non-zero —
+// redials, breaker trips, hedges — and every final snapshot satisfies
+// the cross-counter invariants.
+func TestChaosRunnerStatsConsistency(t *testing.T) {
+	t.Run("redials", func(t *testing.T) {
+		const n = 6
+		backend := startServer(t, &fleetnet.Server{Capacity: 1})
+		sched := &chaos.Schedule{Override: func(conn int) (chaos.Plan, bool) {
+			if conn < 2 {
+				return chaos.Plan{Kind: chaos.FaultDrop, DropAfterFrames: 3}, true
+			}
+			return chaos.Plan{Kind: chaos.FaultNone}, true
+		}}
+		p := chaosProxy(t, backend, sched)
+		nr := fastRecovery([]string{p.Addr()})
+		nr.ShardSize = 2
+		nr.MaxRetries = 10
+		nr.Logf = t.Logf
+		if err := fleet.FirstError(nr.Run(context.Background(), fleet.Config{Workers: 1, Seed: 9}, specJobs(n, true))); err != nil {
+			t.Fatal(err)
+		}
+		st := nr.Stats()
+		assertStatsConsistent(t, st, n/2)
+		if st.Hosts[0].Redials < 1 {
+			t.Fatalf("two mid-stream drops produced no redials: %s", st)
+		}
+		if st.Hosts[0].ConnectAttempts < 3 {
+			t.Fatalf("expected >= 3 dials (initial + 2 reconnects), got %d", st.Hosts[0].ConnectAttempts)
+		}
+	})
+
+	t.Run("breaker", func(t *testing.T) {
+		const n = 4
+		backend := startServer(t, &fleetnet.Server{Capacity: 1})
+		sched := &chaos.Schedule{Override: func(conn int) (chaos.Plan, bool) {
+			if conn < 6 {
+				// Enough consecutive dial refusals to trip the breaker
+				// (threshold 3) through at least one open → half-open cycle.
+				return chaos.Plan{Kind: chaos.FaultRefuse, RefuseDial: true}, true
+			}
+			return chaos.Plan{Kind: chaos.FaultNone}, true
+		}}
+		p := chaosProxy(t, backend, sched)
+		nr := fastRecovery([]string{p.Addr()})
+		nr.ShardSize = 2
+		nr.MaxRetries = 10
+		nr.Logf = t.Logf
+
+		// Poll live stats while the run rides out the refusals: the open
+		// breaker must be observable mid-run, not just inferable after.
+		done := make(chan []fleet.JobResult, 1)
+		go func() {
+			done <- nr.Run(context.Background(), fleet.Config{Workers: 1, Seed: 17}, specJobs(n, true))
+		}()
+		sawOpen := false
+		var results []fleet.JobResult
+	poll:
+		for {
+			select {
+			case results = <-done:
+				break poll
+			case <-time.After(time.Millisecond):
+				if st := nr.Stats(); len(st.Hosts) == 1 && st.Hosts[0].Breaker != fleetnet.BreakerClosed {
+					sawOpen = true
+				}
+			}
+		}
+		if err := fleet.FirstError(results); err != nil {
+			t.Fatal(err)
+		}
+		if !sawOpen {
+			t.Fatal("breaker never left closed despite 6 consecutive dial refusals")
+		}
+		st := nr.Stats()
+		assertStatsConsistent(t, st, n/2)
+		h := st.Hosts[0]
+		if h.Breaker != fleetnet.BreakerClosed {
+			t.Fatalf("breaker should close again after recovery, got %s", h.Breaker)
+		}
+		if h.ConnectAttempts < 7 {
+			t.Fatalf("expected >= 7 dials (6 refused + success), got %d", h.ConnectAttempts)
+		}
+		if h.LastErr == "" {
+			t.Fatal("six refused dials left no last error")
+		}
+	})
+
+	t.Run("hedges", func(t *testing.T) {
+		const n = 4
+		slowBackend := startServer(t, &fleetnet.Server{Capacity: 1})
+		sched := &chaos.Schedule{Override: func(int) (chaos.Plan, bool) {
+			return chaos.Plan{Kind: chaos.FaultDelay, DelayEvery: 1, Delay: 150 * time.Millisecond}, true
+		}}
+		slow := chaosProxy(t, slowBackend, sched)
+		healthyBackend := startServer(t, &fleetnet.Server{Capacity: 1})
+		healthy := startSlowProxy(t, healthyBackend, 400*time.Millisecond)
+
+		nr := fleetnet.New([]string{slow.Addr(), healthy})
+		nr.ShardSize = 2
+		nr.HedgeAfter = 200 * time.Millisecond
+		nr.Logf = t.Logf
+		if err := fleet.FirstError(nr.Run(context.Background(), fleet.Config{Workers: 1, Seed: 5}, specJobs(n, true))); err != nil {
+			t.Fatal(err)
+		}
+		st := nr.Stats()
+		assertStatsConsistent(t, st, n/2)
+		if st.Hedges < 1 {
+			t.Fatalf("molasses host produced no hedges: %s", st)
+		}
+	})
+}
+
 // TestChaosNoGoroutineLeaks: a chaotic run — drops, redials, breaker
 // cycles — unwinds to the baseline goroutine count once daemons shut
 // down. Mirrors TestNoGoroutineLeaks for the recovery machinery.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fleet"
 	"repro/internal/fleet/shard"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sink"
 	"repro/internal/workload"
@@ -23,12 +24,18 @@ import (
 // (`ustafleetd`): scenario specs come in over HTTP, run asynchronously on
 // a fleet runner (multi-host through Runner, or the in-process pool), and
 // are observable while running — status and progress by polling, ordered
-// JSONL telemetry by streaming. Endpoints:
+// JSONL telemetry by streaming, and rolling aggregates over SSE.
+// Endpoints:
 //
 //	POST /jobs                  submit a scenario spec (JSON body) → {"id": ...}
+//	GET  /jobs                  list submitted jobs, submission order
 //	GET  /jobs/{id}             status, progress, and (when done) analytics
 //	POST /jobs/{id}/cancel      abort a running job
 //	GET  /jobs/{id}/telemetry   JSONL sample stream merged into submission order
+//	GET  /jobs/{id}/events      SSE stream of ordered aggregate snapshots
+//	GET  /metrics               Prometheus text exposition (jobs, classes, hosts)
+//	GET  /fleet                 merged per-host recovery/saturation table
+//	GET  /                      embedded live dashboard (internal/obs)
 //
 // Construct with NewJobServer, mount Handler, Close on shutdown.
 type JobServer struct {
@@ -50,6 +57,7 @@ type JobServer struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*serverJob
+	order  []string // job IDs in submission order
 	seq    int
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -93,7 +101,9 @@ type serverJob struct {
 	comfort []analytics.UserComfort
 
 	bus      *Bus
-	busReady chan struct{} // closed once bus (and total) exist
+	agg      *obs.Aggregator    // live aggregation state (nil until the grid exists)
+	statsFn  func() RunnerStats // per-job runner-clone stats (nil off the networked runner)
+	busReady chan struct{}      // closed once bus (and total) exist
 	cancel   context.CancelFunc
 	finished chan struct{}
 }
@@ -119,9 +129,14 @@ func (j *serverJob) snapshot() statusBody {
 func (s *JobServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	return mux
 }
 
@@ -172,6 +187,7 @@ func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := &serverJob{id: id, status: "running", cancel: cancel,
 		busReady: make(chan struct{}), finished: make(chan struct{})}
 	s.jobs[id] = j
+	s.order = append(s.order, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
 	s.logf("net: job %s: submitted", id)
@@ -250,7 +266,12 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 			j.status = "failed"
 		}
 		j.errMsg = err.Error()
+		agg, status := j.agg, j.status
 		j.mu.Unlock()
+		if agg != nil {
+			// Terminal frame for event-stream subscribers.
+			agg.Finish(status)
+		}
 		// Unblock telemetry waiters whether or not a bus ever existed.
 		select {
 		case <-j.busReady:
@@ -293,17 +314,27 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 	}
 
 	bus := NewBus(len(grid.Jobs))
+	agg := obs.NewAggregator(grid)
+	runner := s.jobRunner(pred)
 	j.mu.Lock()
 	j.bus = bus
+	j.agg = agg
 	j.total = len(grid.Jobs)
+	if nr, ok := runner.(*Runner); ok {
+		// The per-job clone owns the run's recovery stats; retain its
+		// accessor so /fleet and /metrics see them, and poll it into the
+		// job's own event-stream snapshots.
+		j.statsFn = nr.Stats
+		agg.FleetFn = func() any { return nr.Stats() }
+	}
 	j.mu.Unlock()
 	close(j.busReady)
 
-	runSink := sink.Sink(bus)
+	runSink := sink.Sink(sink.NewTee(bus, agg))
 	var vs *analytics.ViolationSink
 	if spec.TraceFree {
 		vs = analytics.NewViolationSink(grid.Limits())
-		runSink = sink.NewTee(vs, bus)
+		runSink = sink.NewTee(vs, bus, agg)
 	}
 	cfg := fleet.Config{
 		Workers: s.Workers,
@@ -311,11 +342,12 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 		Sink:    runSink,
 		OnResult: func(res fleet.JobResult) {
 			bus.Finish(res.Index)
+			agg.JobDone(res)
 			j.mu.Lock()
 			j.done++
 			j.mu.Unlock()
 		},
-		Runner: s.jobRunner(pred),
+		Runner: runner,
 	}
 	results := fleet.New(cfg).Run(ctx, grid.Jobs)
 	bus.Close()
@@ -340,7 +372,12 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 		j.status = "done"
 	}
 	j.comfort = comfort
+	status := j.status
 	j.mu.Unlock()
+	// Terminal frame: subscribers drain and disconnect on Final. The
+	// aggregates it carries are pinned byte-equal to the post-hoc stats
+	// computed above — see TestEventsFinalSnapshotMatchesAnalytics.
+	agg.Finish(status)
 	close(j.finished)
 	s.logf("net: job %s: %s (%d jobs)", j.id, j.snapshot().Status, len(results))
 }
@@ -354,6 +391,9 @@ func (s *JobServer) jobRunner(pred *core.Predictor) fleet.Runner {
 	case *Runner:
 		cp := *r
 		cp.Predictor = pred
+		// Each job clone tracks its own run — never share a stats cell a
+		// PublishStatsTo redirect may have left on the server's runner.
+		cp.statsDst = nil
 		return &cp
 	case *shard.Runner:
 		cp := *r

@@ -137,6 +137,11 @@ type Runner struct {
 	// Stats. (atomic.Value is copy-safe here: JobServer clones the Runner
 	// per job and each clone tracks its own run.)
 	stats atomic.Value
+
+	// statsDst, when non-nil, is the cell Run publishes its tracker to
+	// instead of the receiver's own — set by PublishStatsTo on throwaway
+	// copies so the original keeps observing the run.
+	statsDst *atomic.Value
 }
 
 // New creates a networked runner over the given worker addresses.
@@ -770,7 +775,7 @@ func (r *Runner) Run(ctx context.Context, cfg fleet.Config, jobs []fleet.Job) []
 		items = append(items, &itemState{specs: specs[start:end]})
 	}
 	tracker := newStatsTracker(r.Hosts)
-	r.stats.Store(tracker)
+	r.statsCell().Store(tracker)
 	d := newDispatcher(items, r, tracker)
 
 	// Cancellation: poke every open connection's read deadline so blocked
@@ -1401,8 +1406,25 @@ func (t *statsTracker) snapshot() RunnerStats {
 // Stats snapshots the most recent (possibly in-progress) Run's recovery
 // state. Before any Run it returns the zero RunnerStats.
 func (r *Runner) Stats() RunnerStats {
-	if t, ok := r.stats.Load().(*statsTracker); ok && t != nil {
+	if t, ok := r.statsCell().Load().(*statsTracker); ok && t != nil {
 		return t.snapshot()
 	}
 	return RunnerStats{}
 }
+
+// statsCell resolves where this runner's trackers live: its own cell, or
+// the original's when PublishStatsTo redirected a copy.
+func (r *Runner) statsCell() *atomic.Value {
+	if r.statsDst != nil {
+		return r.statsDst
+	}
+	return &r.stats
+}
+
+// PublishStatsTo makes the receiver's future Runs publish their recovery
+// tracker into orig's stats cell (and Stats read from it), so a caller
+// holding orig still observes runs executed on a modified copy.
+// RunScenario uses this when it must attach a predictor or the batched
+// flag to a caller-supplied networked runner; JobServer's per-job clones
+// deliberately do NOT share, keeping one tracker per job.
+func (r *Runner) PublishStatsTo(orig *Runner) { r.statsDst = orig.statsCell() }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/thermal"
 )
 
 // phonePool recycles device.Phone allocations across the jobs of one batch.
@@ -78,4 +79,36 @@ func (p *phonePool) put(key *device.Config, ph *device.Phone) {
 	}
 	p.mu.Unlock()
 	sp.Put(ph)
+}
+
+// lockstepPool recycles thermal.Lockstep instances — and with them the
+// StateBlock arenas and per-tick regrouping scratch — across the batched
+// runner's waves. A wave's lockstep is shape-bound (node count × column
+// capacity), so reuse goes through Lockstep.Reset: when a pooled
+// instance cannot hold the next cohort the wave simply builds a fresh
+// one, and the larger of the two returns to the pool afterwards. A nil
+// *lockstepPool is valid and means "no recycling" (the per-Run batched
+// path).
+type lockstepPool struct {
+	p sync.Pool
+}
+
+// get returns a lockstep enrolled over nets, recycled when a pooled
+// instance fits the cohort's shape.
+func (lp *lockstepPool) get(nets []*thermal.Network) (*thermal.Lockstep, error) {
+	if lp != nil {
+		if ls, ok := lp.p.Get().(*thermal.Lockstep); ok && ls != nil {
+			if ls.Reset(nets) == nil {
+				return ls, nil
+			}
+		}
+	}
+	return thermal.NewLockstep(nets)
+}
+
+// put returns a closed (scattered) lockstep to the pool.
+func (lp *lockstepPool) put(ls *thermal.Lockstep) {
+	if lp != nil && ls != nil {
+		lp.p.Put(ls)
+	}
 }

@@ -1,0 +1,11 @@
+package obs
+
+import _ "embed"
+
+// DashboardHTML is the single-file live dashboard: vanilla HTML/JS that
+// lists jobs, subscribes to a job's SSE snapshot stream, and renders the
+// comfort distribution, violation heat map, per-host saturation, and
+// activity sparkline. ustafleetd serves it at GET /.
+//
+//go:embed dashboard.html
+var DashboardHTML []byte

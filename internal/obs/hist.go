@@ -1,0 +1,53 @@
+package obs
+
+// Fixed histogram geometry: 0.5 °C bins spanning the plausible skin
+// range. Samples outside land in the Under/Over overflow counters, so
+// the memory footprint is constant regardless of run length.
+const (
+	HistMinC = 20.0
+	HistMaxC = 60.0
+	HistBins = 80
+	histBinW = (HistMaxC - HistMinC) / HistBins
+)
+
+// ClassHist is one user class's fixed-bin skin-temperature histogram —
+// the comfort distribution at sample granularity, which the post-hoc
+// path cannot reconstruct once traces are dropped. Counts are integers,
+// so the histogram is identical across worker counts and runners.
+type ClassHist struct {
+	// Class is the user ID ("default" for the zero user).
+	Class string `json:"class"`
+	// LimitC is the class's personal skin limit.
+	LimitC float64 `json:"limit_c"`
+	// Samples counts every sample; OverLimit those strictly above LimitC.
+	Samples   int64 `json:"samples"`
+	OverLimit int64 `json:"over_limit"`
+	// Bins[i] counts samples in [HistMinC + i·0.5, HistMinC + (i+1)·0.5);
+	// Under/Over catch samples outside the histogram span.
+	Under int64   `json:"under"`
+	Over  int64   `json:"over"`
+	Bins  []int64 `json:"bins"`
+}
+
+func newClassHist(class string, limitC float64) ClassHist {
+	return ClassHist{Class: class, LimitC: limitC, Bins: make([]int64, HistBins)}
+}
+
+func (h *ClassHist) add(skinC, limitC float64) {
+	h.Samples++
+	if skinC > limitC {
+		h.OverLimit++
+	}
+	switch {
+	case skinC < HistMinC:
+		h.Under++
+	case skinC >= HistMaxC:
+		h.Over++
+	default:
+		i := int((skinC - HistMinC) / histBinW)
+		if i >= HistBins { // guard the float boundary
+			i = HistBins - 1
+		}
+		h.Bins[i]++
+	}
+}

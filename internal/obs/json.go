@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/analytics"
+)
+
+// Float is a float64 whose NaN marshals as JSON null (encoding/json
+// rejects NaN outright). Analytics uses NaN for "no data" — empty heat
+// map buckets, violation-free percentiles — so every analytics float
+// crossing the wire rides this type.
+type Float float64
+
+// MarshalJSON renders NaN as null and everything else like float64.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON accepts null as NaN, numbers as themselves.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = Float(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
+func nan() float64 { return math.NaN() }
+
+// HeatMap is analytics.HeatMap projected into a JSON-safe shape: same
+// axes, counts, and cell statistics, with NaN cells rendered as null.
+type HeatMap struct {
+	RowLabel   string    `json:"row_label"`
+	ColLabel   string    `json:"col_label"`
+	ValueLabel string    `json:"value_label"`
+	Rows       []float64 `json:"rows"`
+	Cols       []float64 `json:"cols"`
+	Cells      [][]Float `json:"cells"`
+	Counts     [][]int   `json:"counts"`
+	P95        [][]Float `json:"p95"`
+	P99        [][]Float `json:"p99"`
+}
+
+func heatMapJSON(h *analytics.HeatMap) *HeatMap {
+	out := &HeatMap{
+		RowLabel: h.RowLabel, ColLabel: h.ColLabel, ValueLabel: h.ValueLabel,
+		Rows: h.Rows, Cols: h.Cols,
+		Cells:  floatRows(h.Cells),
+		Counts: h.Counts,
+		P95:    floatRows(h.P95),
+		P99:    floatRows(h.P99),
+	}
+	return out
+}
+
+func floatRows(rows [][]float64) [][]Float {
+	out := make([][]Float, len(rows))
+	for i, row := range rows {
+		fr := make([]Float, len(row))
+		for j, v := range row {
+			fr[j] = Float(v)
+		}
+		out[i] = fr
+	}
+	return out
+}
+
+// Comfort is analytics.UserComfort in JSON-tagged form. Per-user means
+// are NaN-free by construction (zero when no violation data), so plain
+// float64 fields are safe here.
+type Comfort struct {
+	UserID       string  `json:"user_id"`
+	LimitC       float64 `json:"limit_c"`
+	N            int     `json:"n"`
+	NViolation   int     `json:"n_violation"`
+	MeanOverFrac float64 `json:"mean_over_frac"`
+	MaxOverFrac  float64 `json:"max_over_frac"`
+	MeanExcessC  float64 `json:"mean_excess_c"`
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MeanEnergyJ  float64 `json:"mean_energy_j"`
+}
+
+// Aggregates is the deterministic snapshot section: the paper-shaped
+// reductions of the run so far, computed by the real analytics functions
+// over the per-job stats. On a finished run this is — byte for byte —
+// what the post-hoc pipeline (Flatten + ViolationSink.Apply +
+// ComfortByUser + ViolationHeatMap) produces; the pinned equality test
+// in internal/fleet/net enforces it.
+type Aggregates struct {
+	Comfort []Comfort `json:"comfort"`
+	HeatMap *HeatMap  `json:"heat_map"`
+}
+
+// AggregatesFromStats reduces per-job stats to the Aggregates section.
+// Both the live Aggregator (every snapshot) and the post-hoc reference
+// path (tests, ustasim) call this one function, so equality of the two
+// reduces to equality of the per-job stats feeding it.
+func AggregatesFromStats(stats []analytics.JobStat) Aggregates {
+	ucs := analytics.ComfortByUser(stats)
+	comfort := make([]Comfort, len(ucs))
+	for i, uc := range ucs {
+		comfort[i] = Comfort{
+			UserID: uc.UserID, LimitC: uc.LimitC,
+			N: uc.N, NViolation: uc.NViolation,
+			MeanOverFrac: uc.MeanOverFrac, MaxOverFrac: uc.MaxOverFrac,
+			MeanExcessC:  uc.MeanExcessC,
+			MeanSlowdown: uc.MeanSlowdown, MeanEnergyJ: uc.MeanEnergyJ,
+		}
+	}
+	return Aggregates{Comfort: comfort, HeatMap: heatMapJSON(analytics.ViolationHeatMap(stats))}
+}

@@ -1,0 +1,254 @@
+// Package obs is the live observability layer over a running fleet
+// sweep: a streaming aggregation engine that consumes the same telemetry
+// stream the analytics layer consumes post-hoc, and maintains rolling
+// fleet-wide state in O(jobs) memory — fixed-bin skin-temperature
+// histograms per user class, the ambient × limit violation heat map,
+// per-job progress, and a time-bucketed activity ring for sparklines.
+//
+// The design constraint is determinism: the final snapshot of a run must
+// be byte-equal to what internal/analytics computes post-hoc from the
+// same results. The Aggregator therefore does no floating-point
+// aggregation of its own across jobs — per-job violation state folds
+// through analytics.ViolationAccum (the exact arithmetic, in the exact
+// order, of the post-hoc path), and every snapshot reduces the per-job
+// stats with the real analytics functions (ComfortByUser,
+// ViolationHeatMap). Sample-count state (histograms, sparklines) is
+// integer-only and order-independent.
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+	"repro/internal/sink"
+)
+
+// Aggregator is one run's streaming aggregation state. Wire it as (or
+// tee it into) the fleet sink, report completions through JobDone, and
+// mark the end of the run with Finish; Snapshot may be called at any
+// time from any goroutine. The zero value is not usable — construct
+// with NewAggregator.
+type Aggregator struct {
+	// FleetFn, when set, is polled at snapshot time for a
+	// JSON-marshalable fleet/host gauge payload (e.g. the networked
+	// runner's RunnerStats). It is called without the aggregator lock
+	// held and must be safe for concurrent use.
+	FleetFn func() any
+
+	mu      sync.Mutex
+	stats   []analytics.JobStat
+	acc     []analytics.ViolationAccum
+	limits  []float64
+	jobDone []bool
+	classOf []int // job index → hists index
+	hists   []ClassHist
+	spark   sparkRing
+	samples int64
+	done    int
+	failed  int
+	status  string
+	final   bool
+	seq     int
+	watch   map[chan struct{}]struct{}
+	now     func() time.Time
+}
+
+// NewAggregator creates an aggregator for one expanded grid. Job metadata
+// (grid coordinates, user classes, limits) is fixed up front; everything
+// else streams in.
+func NewAggregator(grid *scenario.Grid) *Aggregator {
+	a := &Aggregator{
+		stats:   make([]analytics.JobStat, len(grid.Points)),
+		acc:     make([]analytics.ViolationAccum, len(grid.Points)),
+		limits:  grid.Limits(),
+		jobDone: make([]bool, len(grid.Points)),
+		classOf: make([]int, len(grid.Points)),
+		status:  "running",
+		watch:   make(map[chan struct{}]struct{}),
+		now:     time.Now,
+	}
+	histIdx := map[string]int{}
+	for i, pt := range grid.Points {
+		a.stats[i] = analytics.JobStat{Point: pt, OverFrac: nan(), MeanExcessC: nan()}
+		hi, ok := histIdx[pt.UserID]
+		if !ok {
+			hi = len(a.hists)
+			histIdx[pt.UserID] = hi
+			a.hists = append(a.hists, newClassHist(pt.UserID, pt.LimitC))
+		}
+		a.classOf[i] = hi
+	}
+	return a
+}
+
+// Accept folds one telemetry sample into the rolling state. It
+// implements sink.Sink and is safe for concurrent use; samples for jobs
+// outside the grid are ignored.
+func (a *Aggregator) Accept(job sink.JobID, s device.Sample) {
+	i := int(job)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i < 0 || i >= len(a.stats) || a.jobDone[i] {
+		return
+	}
+	a.acc[i].Add(s.SkinC, a.limits[i])
+	a.hists[a.classOf[i]].add(s.SkinC, a.limits[i])
+	a.samples++
+	a.spark.sample(a.now().Unix(), s.SkinC)
+}
+
+// Close implements sink.Sink; the aggregator holds no external
+// resources, and its state stays queryable after the run.
+func (a *Aggregator) Close() error { return nil }
+
+// JobDone records one job's completion: the result (or error) joins the
+// job's grid point, and the job's violation counters are reduced exactly
+// as the post-hoc path reduces them. Samples for the job arriving after
+// JobDone are dropped, mirroring the telemetry Bus.
+func (a *Aggregator) JobDone(res fleet.JobResult) {
+	a.mu.Lock()
+	i := res.Index
+	if i < 0 || i >= len(a.stats) || a.jobDone[i] {
+		a.mu.Unlock()
+		return
+	}
+	st := &a.stats[i]
+	st.Result = res.Result
+	st.Err = res.Err
+	a.acc[i].ApplyTo(st)
+	a.jobDone[i] = true
+	a.done++
+	if res.Err != nil {
+		a.failed++
+	}
+	a.spark.job(a.now().Unix())
+	a.mu.Unlock()
+	a.notify()
+}
+
+// Finish marks the run complete with its terminal status ("done",
+// "failed", or "cancelled"). Snapshots taken afterwards carry Final=true
+// and are stable: the aggregates they carry are the run's post-hoc
+// analytics, byte for byte.
+func (a *Aggregator) Finish(status string) {
+	a.mu.Lock()
+	a.status = status
+	a.final = true
+	a.mu.Unlock()
+	a.notify()
+}
+
+// Progress is the cheap scalar view of the run — what /metrics scrapes
+// and status lines want, without the analytics reduction Snapshot runs.
+type Progress struct {
+	Status  string
+	Done    int
+	Failed  int
+	Total   int
+	Samples int64
+	Final   bool
+}
+
+// Progress returns the current scalar progress counters.
+func (a *Aggregator) Progress() Progress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Progress{Status: a.status, Done: a.done, Failed: a.failed,
+		Total: len(a.stats), Samples: a.samples, Final: a.final}
+}
+
+// HistSnapshot returns a deep copy of the per-class skin histograms.
+func (a *Aggregator) HistSnapshot() []ClassHist {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return copyHists(a.hists)
+}
+
+// Snapshot is one ordered frame of the SSE stream: monotonically
+// increasing Seq, scalar progress, the deterministic Aggregates section,
+// and the wall-clock-shaped extras (histograms, sparkline ring, fleet
+// gauges) that live outside the determinism pin.
+type Snapshot struct {
+	Seq     int    `json:"seq"`
+	Status  string `json:"status"`
+	Final   bool   `json:"final"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Total   int    `json:"total"`
+	Samples int64  `json:"samples"`
+	// Aggregates is the deterministic section: on the final snapshot its
+	// bytes equal the post-hoc analytics computation (AggregatesFromStats
+	// over the flattened results).
+	Aggregates Aggregates `json:"aggregates"`
+	// SkinHist are the per-user-class fixed-bin skin-temperature
+	// histograms (sample-level state the post-hoc path does not retain).
+	SkinHist []ClassHist `json:"skin_hist"`
+	// Spark is the recent-activity ring, oldest bucket first.
+	Spark []SparkBucket `json:"spark,omitempty"`
+	// Fleet is FleetFn's payload (e.g. net.RunnerStats), when wired.
+	Fleet any `json:"fleet,omitempty"`
+}
+
+// Snapshot builds the current frame. Each call consumes one sequence
+// number; frames read by one client are strictly ordered.
+func (a *Aggregator) Snapshot() Snapshot {
+	var fleetState any
+	if fn := a.FleetFn; fn != nil {
+		fleetState = fn()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	return Snapshot{
+		Seq:        a.seq,
+		Status:     a.status,
+		Final:      a.final,
+		Done:       a.done,
+		Failed:     a.failed,
+		Total:      len(a.stats),
+		Samples:    a.samples,
+		Aggregates: AggregatesFromStats(a.stats),
+		SkinHist:   copyHists(a.hists),
+		Spark:      a.spark.snapshot(a.now().Unix()),
+		Fleet:      fleetState,
+	}
+}
+
+// Watch registers for change notification: the returned channel receives
+// (with at-least-once coalescing) after every job completion and after
+// Finish. Call cancel to unregister.
+func (a *Aggregator) Watch() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	a.mu.Lock()
+	a.watch[ch] = struct{}{}
+	a.mu.Unlock()
+	return ch, func() {
+		a.mu.Lock()
+		delete(a.watch, ch)
+		a.mu.Unlock()
+	}
+}
+
+func (a *Aggregator) notify() {
+	a.mu.Lock()
+	for ch := range a.watch {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	a.mu.Unlock()
+}
+
+func copyHists(hs []ClassHist) []ClassHist {
+	out := make([]ClassHist, len(hs))
+	for i, h := range hs {
+		out[i] = h
+		out[i].Bins = append([]int64(nil), h.Bins...)
+	}
+	return out
+}

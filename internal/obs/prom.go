@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MetricWriter renders Prometheus text exposition format (version
+// 0.0.4) without external dependencies. Families must be written as a
+// unit — call Family once, then Sample for each labeled value — because
+// the format requires a family's samples to follow its HELP/TYPE header
+// contiguously.
+type MetricWriter struct {
+	b    bytes.Buffer
+	seen map[string]bool
+}
+
+// Label is one name="value" metric label.
+type Label struct {
+	Name, Value string
+}
+
+// Family starts a metric family: HELP and TYPE headers, written once
+// per name even if declared again.
+func (w *MetricWriter) Family(name, help, typ string) {
+	if w.seen == nil {
+		w.seen = make(map[string]bool)
+	}
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample appends one sample of the most recently declared family.
+func (w *MetricWriter) Sample(name string, labels []Label, v float64) {
+	w.b.WriteString(name)
+	if len(labels) > 0 {
+		w.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			// %q yields exactly the escaping the format mandates for
+			// label values: backslash, double-quote, and newline.
+			fmt.Fprintf(&w.b, "%s=%q", l.Name, l.Value)
+		}
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	w.b.WriteByte('\n')
+}
+
+// WriteTo flushes the rendered exposition to w.
+func (w *MetricWriter) WriteTo(dst io.Writer) (int64, error) {
+	n, err := dst.Write(w.b.Bytes())
+	return int64(n), err
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "math"
+
+// sparkLen is the sparkline window: one bucket per second, two minutes
+// deep. The ring is a fixed array — O(1) memory however long the run.
+const sparkLen = 120
+
+// SparkBucket is one second of fleet activity: samples ingested, jobs
+// completed, and the hottest skin temperature seen (null when the bucket
+// saw no samples).
+type SparkBucket struct {
+	// T is the bucket's unix second.
+	T       int64 `json:"t"`
+	Samples int64 `json:"samples"`
+	Jobs    int   `json:"jobs"`
+	// MaxSkinC is the bucket's peak skin temperature (null without samples).
+	MaxSkinC Float `json:"max_skin_c"`
+}
+
+// sparkRing maps unix second t to slot t % sparkLen; a slot whose stored
+// T disagrees with the incoming second is stale and is reset in place.
+type sparkRing struct {
+	slots [sparkLen]SparkBucket
+}
+
+func slot(t int64) int { return int(((t % sparkLen) + sparkLen) % sparkLen) }
+
+func (r *sparkRing) at(t int64) *SparkBucket {
+	s := &r.slots[slot(t)]
+	if s.T != t {
+		*s = SparkBucket{T: t, MaxSkinC: Float(math.NaN())}
+	}
+	return s
+}
+
+func (r *sparkRing) sample(t int64, skinC float64) {
+	s := r.at(t)
+	s.Samples++
+	if math.IsNaN(float64(s.MaxSkinC)) || skinC > float64(s.MaxSkinC) {
+		s.MaxSkinC = Float(skinC)
+	}
+}
+
+func (r *sparkRing) job(t int64) {
+	r.at(t).Jobs++
+}
+
+// snapshot returns the window's populated buckets, oldest first.
+func (r *sparkRing) snapshot(now int64) []SparkBucket {
+	var out []SparkBucket
+	for t := now - sparkLen + 1; t <= now; t++ {
+		s := r.slots[slot(t)]
+		if s.T == t && (s.Samples > 0 || s.Jobs > 0) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -96,34 +96,92 @@ type Lockstep struct {
 // NewLockstep enrolls the networks into a fresh shared StateBlock. All
 // networks must have the same, nonzero node count.
 func NewLockstep(nets []*Network) (*Lockstep, error) {
+	n, err := lockstepShape(nets)
+	if err != nil {
+		return nil, err
+	}
+	ls := &Lockstep{blk: NewStateBlock(n, len(nets))}
+	ls.enroll(nets)
+	return ls, nil
+}
+
+// lockstepShape validates a cohort and returns its common node count.
+func lockstepShape(nets []*Network) (int, error) {
 	if len(nets) == 0 {
-		return nil, fmt.Errorf("thermal: lockstep over zero networks")
+		return 0, fmt.Errorf("thermal: lockstep over zero networks")
 	}
 	n := len(nets[0].temps)
 	if n == 0 {
-		return nil, ErrEmpty
+		return 0, ErrEmpty
 	}
 	for i, net := range nets {
 		if len(net.temps) != n {
-			return nil, fmt.Errorf("thermal: lockstep network %d has %d nodes, want %d", i, len(net.temps), n)
+			return 0, fmt.Errorf("thermal: lockstep network %d has %d nodes, want %d", i, len(net.temps), n)
 		}
 	}
-	ls := &Lockstep{
-		nets:  nets,
-		blk:   NewStateBlock(n, len(nets)),
-		colA:  make([][]float64, len(nets)),
-		colB:  make([][]float64, len(nets)),
-		pow:   make([][]float64, len(nets)),
-		amb:   make([]float64, len(nets)),
-		props: make([]*propagator, len(nets)),
+	return n, nil
+}
+
+// Reset re-enrolls the lockstep over a fresh cohort after Close, reusing
+// the shared StateBlock arena and every per-tick scratch slice — the
+// wave-over-wave recycling the fleet's batched runner leans on. It fails
+// without touching the receiver when the cohort's node count differs
+// from the block's or exceeds its column capacity; the caller then
+// constructs a new Lockstep.
+func (ls *Lockstep) Reset(nets []*Network) error {
+	n, err := lockstepShape(nets)
+	if err != nil {
+		return err
 	}
+	if ls.blk == nil || ls.blk.n != n || len(nets) > ls.blk.cols {
+		blkN, blkCols := 0, 0
+		if ls.blk != nil {
+			blkN, blkCols = ls.blk.n, ls.blk.cols
+		}
+		return fmt.Errorf("thermal: lockstep reset: cohort %d×%d does not fit block %d×%d",
+			n, len(nets), blkN, blkCols)
+	}
+	ls.enroll(nets)
+	return nil
+}
+
+// enroll points the lockstep at a cohort: gather every network into its
+// column and (re)build the column views and per-tick scratch, reusing
+// whatever capacity an earlier enrollment left behind.
+func (ls *Lockstep) enroll(nets []*Network) {
+	ls.nets = nets
+	ls.parity = false
+	ls.colA = growCols(ls.colA, len(nets))
+	ls.colB = growCols(ls.colB, len(nets))
+	ls.pow = growCols(ls.pow, len(nets))
+	if cap(ls.amb) < len(nets) {
+		ls.amb = make([]float64, len(nets))
+	}
+	ls.amb = ls.amb[:len(nets)]
+	if cap(ls.props) < len(nets) {
+		ls.props = make([]*propagator, len(nets))
+	}
+	ls.props = ls.props[:len(nets)]
+	ls.rk4 = ls.rk4[:0]
+	// Drop the previous cohort's groups outright: their propagators (and
+	// index scratch) belong to networks no longer enrolled.
+	for i := range ls.groups {
+		ls.groups[i] = advGroup{}
+	}
+	ls.groups = ls.groups[:0]
 	for c, net := range nets {
 		net.Gather(ls.blk, c)
 		// Gather points the network at (temps, power, tmp) column views;
 		// mirror them here so ticks never rebuild slice headers.
 		ls.colA[c], ls.pow[c], ls.colB[c] = net.temps, net.power, net.tmp
 	}
-	return ls, nil
+}
+
+func growCols(s [][]float64, n int) [][]float64 {
+	if cap(s) < n {
+		return make([][]float64, n)
+	}
+	return s[:n]
 }
 
 // Networks returns the enrolled networks in column order.

@@ -110,6 +110,71 @@ func TestLockstepRegroupsOnTouchFlips(t *testing.T) {
 	requireBitEqual(t, "touch flips", got, want)
 }
 
+// TestLockstepResetBitIdentical reuses one Lockstep across three
+// successive cohorts via Reset — including a smaller cohort that leaves
+// spare columns — and requires every cohort's trajectory bit-equal to
+// solo stepping. This is the contract the fleet's wave-over-wave
+// lockstep pooling depends on.
+func TestLockstepResetBitIdentical(t *testing.T) {
+	const dt, steps = 0.05, 151
+	program := func(tick, i int, net *Network, nd PhoneNodes) {
+		if tick == 0 {
+			net.SetAmbient(22 + 3*float64(i))
+		}
+		net.SetPower(nd.Die, 1.0+0.7*float64(i)+0.05*float64(tick%11))
+	}
+
+	var ls *Lockstep
+	for round, count := range []int{4, 4, 2} {
+		nets, nodes := phones(count)
+		if ls == nil {
+			var err error
+			if ls, err = NewLockstep(nets); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := ls.Reset(nets); err != nil {
+			t.Fatalf("round %d: reset: %v", round, err)
+		}
+		for s := 0; s < steps; s++ {
+			for i, net := range nets {
+				program(s, i, net, nodes[i])
+			}
+			ls.Step(dt)
+		}
+		ls.Close()
+		got := make([][]float64, count)
+		for i, net := range nets {
+			got[i] = net.Temps(nil)
+		}
+		want := driveSolo(t, steps, program, count, dt)
+		requireBitEqual(t, "reset round", got, want)
+	}
+
+	// A cohort that doesn't fit the block is refused without corrupting
+	// the receiver: too many columns, then a different node count.
+	wide, _ := phones(5)
+	if err := ls.Reset(wide); err == nil {
+		t.Fatal("reset accepted a cohort wider than the block")
+	}
+	odd := NewNetwork(25)
+	odd.AddNode("a", 1, 25)
+	odd.AddNode("b", 1, 25)
+	if err := ls.Reset([]*Network{odd}); err == nil {
+		t.Fatal("reset accepted a mismatched node count")
+	}
+	small, nodes := phones(1)
+	if err := ls.Reset(small); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		program(s, 0, small[0], nodes[0])
+		ls.Step(dt)
+	}
+	ls.Close()
+	want := driveSolo(t, steps, program, 1, dt)
+	requireBitEqual(t, "post-refusal reuse", [][]float64{small[0].Temps(nil)}, want)
+}
+
 // TestLockstepRK4FallbackMixed enrolls a forced-RK4 network alongside
 // propagator-driven ones: the fallback must integrate its own column while
 // the rest advance batched, and every network must match its solo run.

@@ -91,9 +91,25 @@ func TestNetRunnerMatchesLocalTable1(t *testing.T) {
 	got, gotSink := run("net 2 daemons", repro.ScenarioRunner(repro.NewNetRunner(hosts)))
 	requireEqual("net 2 daemons", got, ref, gotSink, refSink)
 
+	// WithBatchedRunner (like an injected predictor) makes RunScenario
+	// execute on a modified copy of the caller's runner; the caller's
+	// Stats must still observe that run (ustasim -stats-json depends on
+	// this — regression: the copy used to swallow the tracker).
+	nr := repro.NewNetRunner(hosts)
 	got, gotSink = run("net 2 daemons batched",
-		repro.ScenarioRunner(repro.NewNetRunner(hosts)), repro.WithBatchedRunner())
+		repro.ScenarioRunner(nr), repro.WithBatchedRunner())
 	requireEqual("net 2 daemons batched", got, ref, gotSink, refSink)
+	st := nr.Stats()
+	if len(st.Hosts) != len(hosts) {
+		t.Fatalf("caller runner stats: %d hosts, want %d (run executed on a copy without publishing back)", len(st.Hosts), len(hosts))
+	}
+	var items int
+	for _, h := range st.Hosts {
+		items += h.ItemsCompleted
+	}
+	if items == 0 {
+		t.Fatal("caller runner stats: zero items completed after a successful networked run")
+	}
 }
 
 // TestNetRunnerRetryMatchesLocalTable1 kills a worker daemon's connection

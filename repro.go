@@ -479,6 +479,10 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 		if rc.batched {
 			nrCopy.Batched = true
 		}
+		// The run executes on the copy, but the caller holds the original:
+		// keep its Stats (ustasim -stats-json, recovery logs) observing
+		// this run instead of staying empty forever.
+		nrCopy.PublishStatsTo(nr)
 		fcfg.Runner = &nrCopy
 	}
 	fl := fleet.New(fcfg)
