@@ -316,6 +316,14 @@ func BenchmarkFleetRun(b *testing.B) {
 	pl := benchPipeline(b)
 	pred := pl.Predictor()
 	pop := repro.StudyPopulation()
+	// One shared device configuration on the counter noise stream: legacy
+	// math/rand reseeding is a fixed per-job cost (every pooled phone
+	// reseeds four sensors), identical across stepping engines but large
+	// enough to blur their ratio. Seed stays zero so the fleet still
+	// derives a distinct seed per job.
+	devCfg := repro.DefaultDeviceConfig()
+	devCfg.Seed = 0
+	devCfg.NoiseVersion = repro.NoiseVersionCounter
 	jobs := make([]repro.Job, 16)
 	for i := range jobs {
 		u := pop[i%len(pop)]
@@ -324,6 +332,7 @@ func BenchmarkFleetRun(b *testing.B) {
 			User:     u,
 			Workload: repro.WorkloadByName("skype", uint64(i)),
 			DurSec:   300,
+			Device:   &devCfg,
 			Controller: func(u repro.User) repro.Controller {
 				return repro.NewUSTA(pred, u.SkinLimitC)
 			},
@@ -383,6 +392,83 @@ func BenchmarkFleetRun(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(free))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 	})
+	// Event-driven engine (trace-free, same jobs): inter-event gaps fold
+	// into held-input segments with dt-ladder physics jumps instead of
+	// per-tick stepping. Reported against workers-1-tracefree, this is the
+	// event speedup (the PR 9 acceptance ratio).
+	b.Run("workers-1-tracefree-event", func(b *testing.B) {
+		fl := repro.NewFleet(repro.FleetConfig{Workers: 1, Seed: 42, Event: repro.EventJump})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := fl.Run(ctx, free)
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(free))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	})
+	// Batched runner under the event engine: grouping, pooling and
+	// reporting go through BatchRunner while each phone runs its own event
+	// loop.
+	b.Run("batched-event", func(b *testing.B) {
+		fl := repro.NewFleet(repro.FleetConfig{
+			Workers: 1, Seed: 42, Runner: repro.NewBatchRunner(), Event: repro.EventJump,
+		})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := fl.Run(ctx, free)
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(free))*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	})
+}
+
+// BenchmarkEventRun measures one device's stepping engines head to head on
+// a 5-minute Skype slice (trace-free, stock governor, no controller — the
+// pure stepping cost): the fixed-tick oracle, the event engine with every
+// tick canonical (plumbing overhead), the held-segment sequential oracle,
+// and the dt-ladder jump engine. The metric is simulated seconds per wall
+// second.
+func BenchmarkEventRun(b *testing.B) {
+	modes := []struct {
+		name string
+		mode repro.EventMode
+	}{
+		{"off", repro.EventOff},
+		{"tick", repro.EventTick},
+		{"oracle", repro.EventOracle},
+		{"jump", repro.EventJump},
+	}
+	const durSec = 300
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			cfg := repro.DefaultDeviceConfig()
+			w := repro.WorkloadByName("skype", 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := repro.NewPhone(cfg)
+				if p == nil {
+					b.Fatal("NewPhone returned nil")
+				}
+				p.SetTraceFree(true)
+				if _, err := p.RunEventContext(context.Background(), w, durSec, m.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(durSec*float64(b.N)/b.Elapsed().Seconds(), "sim-sec/sec")
+		})
+	}
 }
 
 // BenchmarkSysIDCalibration measures the thermal system-identification

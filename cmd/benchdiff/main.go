@@ -36,7 +36,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.25, "relative regression that triggers a warning (0.25 = 25%)")
 	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
 	failPct := flag.Float64("fail-on-regress", 0, "hard gate in percent: exit 1 when a benchmark matching -match regresses more than this (0 = warn-only)")
-	match := flag.String("match", "", "substring restricting which benchmarks -fail-on-regress gates (empty = all)")
+	match := flag.String("match", "", "comma-separated substrings restricting which benchmarks -fail-on-regress gates (empty = all)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-strict] [-fail-on-regress pct [-match substr]] SEED PR")
@@ -75,7 +75,8 @@ func main() {
 }
 
 // gateSpec is the -fail-on-regress hard gate: pct is the failure threshold
-// in percent (0 disables), match the benchmark-name substring it covers.
+// in percent (0 disables), match a comma-separated list of benchmark-name
+// substrings it covers (any one matching is enough).
 type gateSpec struct {
 	pct   float64
 	match string
@@ -84,7 +85,17 @@ type gateSpec struct {
 // covers reports whether a regression of rel (negative for rate drops) on
 // the named benchmark trips the gate.
 func (g gateSpec) covers(name string, rel float64, lowerBetter bool) bool {
-	if g.pct <= 0 || !strings.Contains(name, g.match) {
+	if g.pct <= 0 {
+		return false
+	}
+	matched := g.match == ""
+	for _, sub := range strings.Split(g.match, ",") {
+		if sub != "" && strings.Contains(name, sub) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
 		return false
 	}
 	lim := g.pct / 100

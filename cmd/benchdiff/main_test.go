@@ -131,8 +131,20 @@ func TestCompareFailOnRegressGate(t *testing.T) {
 		t.Fatalf("disabled gate tripped: %d", gated)
 	}
 
+	// A comma-separated match list gates every listed substring.
+	seed["BenchmarkEventRun/jump"] = map[string]float64{"sim-sec/sec": 4000}
+	pr["BenchmarkEventRun/jump"] = map[string]float64{"sim-sec/sec": 3000} // -25%
+	out.Reset()
+	_, gated = compare(seed, pr, 0.25, gateSpec{pct: 15, match: "BenchmarkFleetRun,BenchmarkEventRun"}, &out)
+	// FleetRun's two metrics plus EventRun's rate drop; Table1 still outside.
+	if gated != 3 {
+		t.Fatalf("list gate = %d want 3\n%s", gated, out.String())
+	}
+
 	// Empty match gates everything, improvements stay clean.
 	pr["BenchmarkFleetRun/workers-4"] = map[string]float64{"jobs/sec": 1200, "ns/op": 0.8e9}
+	delete(seed, "BenchmarkEventRun/jump")
+	delete(pr, "BenchmarkEventRun/jump")
 	out.Reset()
 	_, gated = compare(seed, pr, 0.25, gateSpec{pct: 15}, &out)
 	if gated != 1 { // only Table1's +50% remains

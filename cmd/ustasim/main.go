@@ -53,6 +53,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "run the scenario across this many worker processes (0 = in-process); results are identical either way")
 		hosts      = flag.String("hosts", "", "comma-separated ustaworker -listen daemon addresses to dispatch the scenario to (overrides -shards); results are identical either way")
 		batch      = flag.Bool("batch", false, "run the scenario on the cohort-batched lockstep engine; results are identical, sweeps over shared device configs run faster")
+		event      = flag.String("event", "off", "scenario stepping engine: off|tick|oracle|jump (tick is byte-identical to off; jump replays scheduling exactly with held-input thermal tolerance)")
 		fallbk     = flag.Bool("local-fallback", false, "with -hosts: when every host stays down past the coordinator's recovery deadline, finish the remaining jobs in-process instead of failing them")
 		statsJSON  = flag.String("stats-json", "", "with -hosts: write the coordinator's end-of-run RunnerStats snapshot (redials, hedges, breaker states) to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -88,6 +89,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ustasim: -jsonl requires -scenario")
 		os.Exit(1)
 	}
+	if *event != "off" && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -event requires -scenario")
+		os.Exit(1)
+	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ustasim:", err)
@@ -98,7 +103,7 @@ func main() {
 		scale: *scale, seed: *seed, corpusSec: *corpusSec,
 		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
 		workers: *workers, shards: *shards, hosts: *hosts, batch: *batch,
-		localFallback: *fallbk, statsPath: *statsJSON,
+		localFallback: *fallbk, statsPath: *statsJSON, event: *event,
 	}
 	if err := realMain(opts); err != nil {
 		stopProfiles()
@@ -170,6 +175,7 @@ type cliOptions struct {
 	batch         bool
 	localFallback bool
 	statsPath     string
+	event         string
 }
 
 func realMain(o cliOptions) error {
@@ -189,7 +195,7 @@ func realMain(o cliOptions) error {
 		if flagErr != nil {
 			return flagErr
 		}
-		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.jsonlPath, o.csvDir, o.statsPath, os.Stdout)
+		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.event, o.jsonlPath, o.csvDir, o.statsPath, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()

@@ -23,11 +23,16 @@ import (
 // and batch runs cohorts of grid cells in lockstep on the batched engine —
 // aggregates and streams are identical under every combination.
 // localFallback lets a hosts run finish on the in-process pool when every
-// host stays down past the coordinator's recovery deadline. Coordinator
+// host stays down past the coordinator's recovery deadline. event selects
+// the stepping engine (off|tick|oracle|jump; see repro.EventMode). Coordinator
 // recovery logs and the end-of-run stats snapshot go to stderr so stdout
 // stays byte-comparable across runner choices; statsPath additionally
 // dumps that end-of-run RunnerStats snapshot as JSON for tooling.
-func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, jsonlPath, csvDir, statsPath string, out io.Writer) error {
+func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, event, jsonlPath, csvDir, statsPath string, out io.Writer) error {
+	mode, err := repro.ParseEventMode(event)
+	if err != nil {
+		return err
+	}
 	spec, err := repro.LoadScenario(path)
 	if err != nil {
 		return err
@@ -72,6 +77,9 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 	}
 	if batch {
 		opts = append(opts, repro.WithBatchedRunner())
+	}
+	if mode != repro.EventOff {
+		opts = append(opts, repro.ScenarioEventMode(mode))
 	}
 	var jsonlFile *os.File
 	var jsonlSink repro.Sink

@@ -41,7 +41,7 @@ trace_free: true
 	csvDir := filepath.Join(dir, "out")
 
 	var out strings.Builder
-	if err := runScenario(specPath, 2, 0, "", false, false, jsonl, csvDir, "", &out); err != nil {
+	if err := runScenario(specPath, 2, 0, "", false, false, "off", jsonl, csvDir, "", &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -63,7 +63,7 @@ trace_free: true
 	jsonl2 := filepath.Join(dir, "samples_sharded.jsonl")
 	csvDir2 := filepath.Join(dir, "out_sharded")
 	var out2 strings.Builder
-	if err := runScenario(specPath, 2, 2, "", false, false, jsonl2, csvDir2, "", &out2); err != nil {
+	if err := runScenario(specPath, 2, 2, "", false, false, "off", jsonl2, csvDir2, "", &out2); err != nil {
 		t.Fatalf("sharded run: %v", err)
 	}
 	data2, err := os.ReadFile(jsonl2)
@@ -96,14 +96,14 @@ trace_free: true
 	}
 
 	// Bad spec path and bad spec content both surface as errors.
-	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", false, false, "", "", "", &out); err == nil {
+	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", false, false, "off", "", "", "", &out); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(bad, 1, 0, "", false, false, "", "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+	if err := runScenario(bad, 1, 0, "", false, false, "off", "", "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
 		t.Fatalf("invalid spec error = %v", err)
 	}
 }
@@ -144,7 +144,7 @@ func TestRunScenarioBatchSmoke(t *testing.T) {
 		jsonl := filepath.Join(dir, label+".jsonl")
 		csvDir := filepath.Join(dir, label)
 		var out strings.Builder
-		if err := runScenario(specPath, 2, shards, "", batch, false, jsonl, csvDir, "", &out); err != nil {
+		if err := runScenario(specPath, 2, shards, "", batch, false, "off", jsonl, csvDir, "", &out); err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		data, err := os.ReadFile(jsonl)
@@ -207,7 +207,7 @@ func TestRunScenarioHostsSmoke(t *testing.T) {
 		jsonl := filepath.Join(dir, label+".jsonl")
 		csvDir := filepath.Join(dir, label)
 		var out strings.Builder
-		if err := runScenario(specPath, 2, 0, hosts, false, false, jsonl, csvDir, "", &out); err != nil {
+		if err := runScenario(specPath, 2, 0, hosts, false, false, "off", jsonl, csvDir, "", &out); err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		data, err := os.ReadFile(jsonl)
@@ -252,7 +252,7 @@ func TestProfileFlagsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runScenario(specPath, 1, 0, "", true, false, "", "", "", &out); err != nil {
+	if err := runScenario(specPath, 1, 0, "", true, false, "off", "", "", "", &out); err != nil {
 		stop()
 		t.Fatal(err)
 	}

@@ -151,6 +151,21 @@ func (p *Pack) Discharge(loadWatts, dt float64) (heatWatts float64) {
 	return heat
 }
 
+// DischargeHeat returns the I²R heat rate (watts) a Discharge of
+// loadWatts would report at the pack's current state of charge, without
+// draining anything. The heat rate depends only on the load and the SoC,
+// so callers that hold a load constant over a window can peek the rate up
+// front and apply one Discharge(loadWatts, window) afterwards: the drain
+// and the returned heat match a peek-then-drain exactly (the event engine
+// relies on this to freeze battery heat across a held segment).
+func (p *Pack) DischargeHeat(loadWatts float64) (heatWatts float64) {
+	if loadWatts <= 0 {
+		return 0
+	}
+	i := loadWatts / p.OCV()
+	return i * i * p.cfg.InternalOhm
+}
+
 // Charge advances a charging interval of dt seconds and returns the heat
 // dissipated in the pack (inefficiency + I²R) and the electrical power
 // actually stored. Charging follows CC below CVThreshold and an

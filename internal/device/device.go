@@ -60,6 +60,13 @@ type Config struct {
 	EnableHotplug bool
 	// Seed drives every stochastic element (sensor noise).
 	Seed int64
+	// NoiseVersion selects the sensor noise stream implementation
+	// (sensors.NoiseVersionLegacy keeps the math/rand stream every
+	// committed golden was generated with; sensors.NoiseVersionCounter is
+	// the counter-based stream with O(1) reseed and position seeking).
+	// The zero value is the legacy stream, so existing configurations and
+	// goldens are unaffected.
+	NoiseVersion int
 }
 
 // DefaultConfig returns the calibrated Nexus-4-like device configuration.
@@ -139,10 +146,10 @@ func New(cfg Config, gov governor.Governor) (*Phone, error) {
 		cpu:         cpu,
 		gov:         gov,
 		pack:        pack,
-		cpuSensor:   sensors.BuiltinTempSensor(cfg.Seed + 11),
-		batSensor:   sensors.BuiltinTempSensor(cfg.Seed + 13),
-		skinTherm:   sensors.Thermistor(cfg.Seed + 17),
-		screenTherm: sensors.Thermistor(cfg.Seed + 19),
+		cpuSensor:   sensors.BuiltinTempSensorV(cfg.Seed+11, cfg.NoiseVersion),
+		batSensor:   sensors.BuiltinTempSensorV(cfg.Seed+13, cfg.NoiseVersion),
+		skinTherm:   sensors.ThermistorV(cfg.Seed+17, cfg.NoiseVersion),
+		screenTherm: sensors.ThermistorV(cfg.Seed+19, cfg.NoiseVersion),
 		logger:      sensors.NewLogger(cfg.LoggerPeriodSec),
 	}
 	if cfg.EnableHotplug {

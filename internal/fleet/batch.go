@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"math"
+	"sync"
 
 	"repro/internal/device"
 	"repro/internal/thermal"
@@ -38,6 +39,11 @@ const DefaultBatchWidth = 32
 // duration (scenario grid sweeps: ambients, users, limits and schemes all
 // share propagators); a batch of all-distinct configurations degenerates
 // to single-job cohorts, which cost within noise of LocalRunner.
+//
+// When Config.Event selects an event mode, segmentation is per-phone, so
+// a tick lockstep does not apply: each wave member runs its own event
+// loop instead (same grouping, reporting and pooling; results match
+// LocalRunner under the same mode byte for byte).
 type BatchRunner struct {
 	// Width caps jobs per lockstep wave (<= 0: DefaultBatchWidth).
 	Width int
@@ -75,6 +81,51 @@ type cohortKey struct {
 	steps int
 }
 
+// probeResult is one device configuration's cohort fingerprint.
+type probeResult struct {
+	sig uint64
+	dt  float64
+	ok  bool
+}
+
+// batchScratch recycles Run's grouping state — the probe and cohort maps
+// and the keyOrder/solo/waves slices — across Run calls, so a steady-state
+// caller (scenario services, benchmarks, worker daemons) regroups each
+// batch without re-growing maps and slices. Purely an allocation concern:
+// every field is rebuilt from the jobs each Run, so reuse cannot change
+// results.
+type batchScratch struct {
+	probes   map[*device.Config]probeResult
+	cohorts  map[cohortKey][]int
+	keyOrder []cohortKey
+	solo     []int
+	waves    [][]int
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		probes:  map[*device.Config]probeResult{},
+		cohorts: map[cohortKey][]int{},
+	}
+}}
+
+// release scrubs the scratch for the next Run: probe entries are deleted
+// (they depend on pool state), cohort member slices are truncated in place
+// so their backing arrays survive for the recurring cohort keys of
+// repeated identical batches.
+func (s *batchScratch) release() {
+	for k := range s.probes {
+		delete(s.probes, k)
+	}
+	for k, v := range s.cohorts {
+		s.cohorts[k] = v[:0]
+	}
+	s.keyOrder = s.keyOrder[:0]
+	s.solo = s.solo[:0]
+	s.waves = s.waves[:0]
+	batchScratchPool.Put(s)
+}
+
 // Run implements Runner.
 func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResult {
 	if ctx == nil {
@@ -94,17 +145,14 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 		width = DefaultBatchWidth
 	}
 
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer sc.release()
+
 	// Probe each distinct device configuration once: one throwaway-free
 	// phone build yields the thermal fingerprint and lands in the pool for
 	// the first real job to recycle, so probing costs nothing extra.
-	type probeResult struct {
-		sig uint64
-		dt  float64
-		ok  bool
-	}
-	probes := map[*device.Config]probeResult{}
 	probe := func(key *device.Config) probeResult {
-		if pr, done := probes[key]; done {
+		if pr, done := sc.probes[key]; done {
 			return pr
 		}
 		devCfg := device.DefaultConfig()
@@ -116,13 +164,12 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 			pr = probeResult{sig: ph.Network().Fingerprint(), dt: devCfg.StepSec, ok: true}
 			pool.put(key, ph)
 		}
-		probes[key] = pr
+		sc.probes[key] = pr
 		return pr
 	}
 
-	cohorts := map[cohortKey][]int{}
-	var keyOrder []cohortKey
-	var solo []int // jobs the local per-job path must handle (same errors)
+	keyOrder := sc.keyOrder
+	solo := sc.solo
 	for i := range jobs {
 		job := &jobs[i]
 		if job.Workload == nil {
@@ -139,15 +186,17 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 			dur = d
 		}
 		k := cohortKey{sig: pr.sig, dt: pr.dt, steps: int(math.Round(dur / pr.dt))}
-		if _, seen := cohorts[k]; !seen {
+		// Stale keys from a previous Run linger truncated to length zero,
+		// so emptiness — not presence — marks a key as new this Run.
+		if len(sc.cohorts[k]) == 0 {
 			keyOrder = append(keyOrder, k)
 		}
-		cohorts[k] = append(cohorts[k], i)
+		sc.cohorts[k] = append(sc.cohorts[k], i)
 	}
 
-	var waves [][]int
+	waves := sc.waves
 	for _, k := range keyOrder {
-		idxs := cohorts[k]
+		idxs := sc.cohorts[k]
 		for start := 0; start < len(idxs); start += width {
 			end := start + width
 			if end > len(idxs) {
@@ -156,6 +205,7 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 			waves = append(waves, idxs[start:end])
 		}
 	}
+	sc.keyOrder, sc.solo, sc.waves = keyOrder, solo, waves
 
 	ForEach(len(waves)+len(solo), cfg.Workers, func(u int) {
 		if u < len(waves) {
@@ -207,9 +257,51 @@ func soloTicks(ctx context.Context, cfg *Config, pool *phonePool, lr *liveRun, r
 	finishRun(cfg, pool, lr, nil, results, report)
 }
 
-// runWave executes one cohort wave in lockstep.
+// waveScratch recycles one wave's assembly state — the live-run table and
+// the network gather list — across waves and Run calls. Waves run
+// concurrently, so each runWave checks one out for its whole duration.
+type waveScratch struct {
+	live []liveRun
+	nets []*thermal.Network
+}
+
+var waveScratchPool = sync.Pool{New: func() any { return new(waveScratch) }}
+
+// releaseWave zeroes the scratch (liveRun holds phone pointers that must
+// not outlive the wave in pooled memory) and returns it.
+func releaseWave(ws *waveScratch, live []liveRun) {
+	for i := range live {
+		live[i] = liveRun{}
+	}
+	ws.live = live[:0]
+	for i := range ws.nets {
+		ws.nets[i] = nil
+	}
+	ws.nets = ws.nets[:0]
+	waveScratchPool.Put(ws)
+}
+
+// runEventLive drives one live run through the event engine to completion
+// (the batched runner's per-phone path when an event mode is selected —
+// event segmentation is per-phone, so a lockstep does not apply).
+func runEventLive(ctx context.Context, cfg *Config, pool *phonePool, lr *liveRun, results []JobResult, report func(JobResult)) {
+	e := device.NewEventRun(lr.run, lr.job.Workload, cfg.Event)
+	for e.Active() {
+		if err := ctx.Err(); err != nil {
+			finishRun(cfg, pool, lr, err, results, report)
+			return
+		}
+		e.Segment()
+	}
+	finishRun(cfg, pool, lr, nil, results, report)
+}
+
+// runWave executes one cohort wave in lockstep (or, in event mode, runs
+// its members' per-phone event loops).
 func runWave(ctx context.Context, cfg *Config, pool *phonePool, lsp *lockstepPool, jobs []Job, idxs []int, results []JobResult, report func(JobResult)) {
-	live := make([]liveRun, 0, len(idxs))
+	ws := waveScratchPool.Get().(*waveScratch)
+	live := ws.live[:0]
+	defer func() { releaseWave(ws, live) }()
 	for _, i := range idxs {
 		job := &jobs[i]
 		jr := JobResult{Index: i, Name: job.Name, User: job.User}
@@ -238,6 +330,12 @@ func runWave(ctx context.Context, cfg *Config, pool *phonePool, lsp *lockstepPoo
 	if len(live) == 0 {
 		return
 	}
+	if cfg.Event != device.EventOff {
+		for li := range live {
+			runEventLive(ctx, cfg, pool, &live[li], results, report)
+		}
+		return
+	}
 	// The cohort key pins a common step count; treat any mismatch (a
 	// defensive impossibility) as a solo straggler rather than corrupting
 	// the lockstep.
@@ -254,10 +352,11 @@ func runWave(ctx context.Context, cfg *Config, pool *phonePool, lsp *lockstepPoo
 	if len(live) == 0 {
 		return
 	}
-	nets := make([]*thermal.Network, len(live))
+	nets := ws.nets[:0]
 	for li := range live {
-		nets[li] = live[li].phone.Network()
+		nets = append(nets, live[li].phone.Network())
 	}
+	ws.nets = nets
 	ls, err := lsp.get(nets)
 	if err != nil {
 		for li := range live {

@@ -52,6 +52,13 @@ type Config struct {
 	// determinism contract: same jobs, same Seed → byte-identical results
 	// at any parallelism.
 	Runner Runner
+	// Event selects the stepping engine for every job in the batch (the
+	// zero value is the plain fixed-tick loop; see device.EventMode for
+	// the modes and their exactness guarantees). Every runner honors it —
+	// local, batched, sharded and networked — so a mode choice cannot
+	// change results across deployment shapes beyond what the mode itself
+	// guarantees.
+	Event device.EventMode
 }
 
 // Runner executes a batch of jobs under a batch configuration and returns
@@ -263,7 +270,11 @@ func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) J
 		r.Err = err
 		return r
 	}
-	r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
+	if cfg.Event != device.EventOff {
+		r.Result, r.Err = phone.RunEventContext(ctx, job.Workload, job.DurSec, cfg.Event)
+	} else {
+		r.Result, r.Err = phone.RunContext(ctx, job.Workload, job.DurSec)
+	}
 	pool.put(job.Device, phone)
 	return r
 }

@@ -814,7 +814,7 @@ func (r *Runner) Run(ctx context.Context, cfg fleet.Config, jobs []fleet.Job) []
 		connMu.Unlock()
 	}()
 
-	req := baseRequest{pred: pred, workers: cfg.Workers, wantSamples: cfg.Sink != nil, batched: r.Batched}
+	req := baseRequest{pred: pred, workers: cfg.Workers, wantSamples: cfg.Sink != nil, batched: r.Batched, event: int(cfg.Event)}
 	var wg sync.WaitGroup
 	for _, addr := range r.Hosts {
 		wg.Add(1)
@@ -895,6 +895,7 @@ type baseRequest struct {
 	workers     int
 	wantSamples bool
 	batched     bool
+	event       int
 }
 
 // hostGen is one connected generation of a host: the slots it spawned
@@ -1242,6 +1243,7 @@ func (r *Runner) streamItem(conn stdnet.Conn, at *attempt, specs []fleet.JobSpec
 		Predictor:   req.pred,
 		WantSamples: req.wantSamples,
 		Batched:     req.batched,
+		Event:       req.event,
 		Jobs:        specs,
 	}
 	conn.SetWriteDeadline(time.Now().Add(hbTimeout))

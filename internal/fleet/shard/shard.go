@@ -117,7 +117,7 @@ func errResult(i int, job *fleet.Job, err error) fleet.JobResult {
 func (r *Runner) runShard(ctx context.Context, cfg fleet.Config, pred []byte, shardID, start int, jobs []fleet.Job, results []fleet.JobResult, report func(fleet.JobResult)) {
 	// Build the request: spec-less jobs fail here, spec'd jobs get their
 	// seed resolved exactly like the local runner would have.
-	req := &wire.ShardRequest{Workers: cfg.Workers, Predictor: pred, WantSamples: cfg.Sink != nil, Batched: r.Batched}
+	req := &wire.ShardRequest{Workers: cfg.Workers, Predictor: pred, WantSamples: cfg.Sink != nil, Batched: r.Batched, Event: int(cfg.Event)}
 	received := make([]bool, len(jobs))
 	for i := range jobs {
 		if jobs[i].Spec == nil {

@@ -118,7 +118,7 @@ func ServeRequest(ctx context.Context, req *wire.ShardRequest, write func(*wire.
 	}
 
 	crashOn, crashArmed := crashIndex()
-	cfg := fleet.Config{Workers: req.Workers}
+	cfg := fleet.Config{Workers: req.Workers, Event: device.EventMode(req.Event)}
 	var remote *sink.Remote
 	if req.WantSamples {
 		remote = wire.SampleWriter(write, func(id sink.JobID) int { return global[int(id)] })

@@ -117,6 +117,12 @@ type ShardRequest struct {
 	// Results are byte-identical either way; this is purely a throughput
 	// knob for shards whose jobs share device configurations.
 	Batched bool `json:"batched,omitempty"`
+	// Event selects the worker's stepping engine (a device.EventMode
+	// value; 0 is the plain fixed-tick loop). Carried as an int so the
+	// wire package stays free of behavioral coupling; the worker converts
+	// it back and applies it to its fleet config, which is what keeps a
+	// sharded event run equal to a local run under the same mode.
+	Event int `json:"event,omitempty"`
 }
 
 // SampleFrame is one telemetry point crossing the process boundary.

@@ -15,6 +15,29 @@ import (
 	"math/rand"
 )
 
+// Stream is the Gaussian noise source behind a Sensor. Two
+// implementations exist: the legacy *math/rand.Rand (NoiseVersionLegacy —
+// the stream every committed golden was recorded against) and the
+// counter-based CounterStream (NoiseVersionCounter — O(1) seeding and
+// position seeking, the stream replay/checkpointing and the event engine
+// version against). Both are deterministic functions of their seed.
+type Stream interface {
+	NormFloat64() float64
+	Seed(seed int64)
+}
+
+// Noise stream versions for the versioned constructors. The version is
+// part of an experiment's reproducibility contract: changing it changes
+// every sampled reading, so it is carried explicitly (device.Config)
+// rather than flipped globally.
+const (
+	// NoiseVersionLegacy is math/rand.Rand — bit-compatible with every
+	// result recorded before versioning existed.
+	NoiseVersionLegacy = 0
+	// NoiseVersionCounter is the splitmix64 counter stream.
+	NoiseVersionCounter = 1
+)
+
 // Sensor converts a physical node temperature into a measured reading.
 type Sensor struct {
 	// QuantC is the quantization step in °C (0 disables quantization).
@@ -24,7 +47,7 @@ type Sensor struct {
 	// LagTau is the first-order lag time constant in seconds (0 = no lag).
 	LagTau float64
 
-	rng    *rand.Rand
+	rng    Stream
 	state  float64
 	primed bool
 
@@ -35,21 +58,45 @@ type Sensor struct {
 }
 
 // NewSensor creates a sensor with the given quantization, noise, and lag,
-// using a deterministic noise stream derived from seed.
+// using the legacy deterministic noise stream derived from seed.
 func NewSensor(quantC, noiseStd, lagTau float64, seed int64) *Sensor {
+	return NewSensorV(quantC, noiseStd, lagTau, seed, NoiseVersionLegacy)
+}
+
+// NewSensorV is NewSensor with an explicit noise stream version.
+func NewSensorV(quantC, noiseStd, lagTau float64, seed int64, version int) *Sensor {
 	// alphaDt = -1 guarantees the cached-coefficient fast path can only
 	// match real (positive) step sizes.
-	return &Sensor{QuantC: quantC, NoiseStd: noiseStd, LagTau: lagTau, alphaDt: -1, rng: rand.New(rand.NewSource(seed))}
+	return &Sensor{QuantC: quantC, NoiseStd: noiseStd, LagTau: lagTau, alphaDt: -1, rng: newStream(seed, version)}
+}
+
+// newStream builds the noise stream for a version; unknown versions take
+// the newest stream (forward compatibility for configs written later).
+func newStream(seed int64, version int) Stream {
+	if version == NoiseVersionLegacy {
+		return rand.New(rand.NewSource(seed))
+	}
+	return NewCounterStream(seed)
 }
 
 // BuiltinTempSensor returns the model of an on-SoC/battery temperature
 // sensor: 0.1 °C quantization, mild noise, ~2 s lag.
 func BuiltinTempSensor(seed int64) *Sensor { return NewSensor(0.1, 0.15, 2.0, seed) }
 
+// BuiltinTempSensorV is BuiltinTempSensor with an explicit noise version.
+func BuiltinTempSensorV(seed int64, version int) *Sensor {
+	return NewSensorV(0.1, 0.15, 2.0, seed, version)
+}
+
 // Thermistor returns the model of an attached external thermistor used to
 // collect training labels: fine quantization, low noise, ~1 s lag from the
 // adhesive pad.
 func Thermistor(seed int64) *Sensor { return NewSensor(0.02, 0.05, 1.0, seed) }
+
+// ThermistorV is Thermistor with an explicit noise version.
+func ThermistorV(seed int64, version int) *Sensor {
+	return NewSensorV(0.02, 0.05, 1.0, seed, version)
+}
 
 // Advance propagates the first-order lag by dt seconds with the physical
 // temperature trueC. No measurement is taken — pair with Sample, which
@@ -125,6 +172,33 @@ func (s *Sensor) Reseed(seed int64) {
 	s.alphaDt = -1
 	s.alpha = 0
 }
+
+// Alpha returns the lag coefficient 1−e^(−dt/τ) the sensor applies per
+// Advance at step dt (1 for degenerate lags or steps, where the reading
+// tracks the input exactly). It uses — and primes — the same coefficient
+// cache as Advance, so the value is bitwise the one Advance multiplies by.
+func (s *Sensor) Alpha(dt float64) float64 {
+	if s.LagTau <= 0 || dt <= 0 {
+		return 1
+	}
+	if dt != s.alphaDt {
+		s.alphaDt = dt
+		s.alpha = 1 - math.Exp(-dt/s.LagTau)
+	}
+	return s.alpha
+}
+
+// LagState returns the current lagged temperature (the value Sample adds
+// noise to). Only meaningful once primed.
+func (s *Sensor) LagState() float64 { return s.state }
+
+// SetLagState overwrites the lagged temperature — the write-back half of
+// an externally integrated lag (the event engine folds the lag recurrence
+// into its jump matrix and stores the result here).
+func (s *Sensor) SetLagState(v float64) { s.state = v }
+
+// Primed reports whether the sensor has seen its first Advance.
+func (s *Sensor) Primed() bool { return s.primed }
 
 // Record is one line of the logging application: the observables available
 // on a stock phone plus, during training runs, the thermistor ground truth.
@@ -219,6 +293,61 @@ func (l *Logger) Observe(t, util, freqMHz float64, cpu, bat, skin, screen *Senso
 		l.winStart = t
 		l.utilSum, l.freqSum, l.winSamples = 0, 0, 0
 	}
+}
+
+// ObserveHeld accumulates one simulation step into the current logging
+// window without the emission check. The event engine replays folded
+// (held-input) ticks through it — one float add per accumulator, the
+// identical adds Observe performs — and routes every tick that WouldEmit
+// through the full Observe, so window sums, sample counts and therefore
+// the averages in every emitted Record stay bit-identical to a tick-by-
+// tick run.
+func (l *Logger) ObserveHeld(t, util, freqMHz float64) {
+	if !l.started {
+		l.started = true
+		l.winStart = t
+	}
+	l.utilSum += util
+	l.freqSum += freqMHz
+	l.winSamples++
+}
+
+// WouldEmit reports whether an Observe at time t would close the current
+// logging window and emit a Record. Emission samples the attached sensors
+// (consuming noise-stream draws), so the event engine routes such ticks
+// through its close-out path: it asks WouldEmit before folding a tick
+// into the interior of a held segment.
+func (l *Logger) WouldEmit(t float64) bool {
+	return l.started && t-l.winStart+1e-9 >= l.PeriodSec
+}
+
+// EmitHeld closes the current logging window at time t when due, emitting
+// a Record exactly as Observe's emission branch would — same sensor
+// sampling order (same noise-stream draws), same averages from the
+// accumulated sums. The event engine pairs it with ObserveHeld: folded
+// ticks accumulate, the segment's physics jump advances the sensor lags,
+// and the close-out tick emits from the jumped state. A no-op when the
+// window is still open.
+func (l *Logger) EmitHeld(t float64, cpu, bat, skin, screen *Sensor) {
+	if !l.started || t-l.winStart+1e-9 < l.PeriodSec {
+		return
+	}
+	rec := Record{
+		TimeSec:      t,
+		CPUTempC:     cpu.Sample(),
+		BatteryTempC: bat.Sample(),
+		Util:         l.utilSum / float64(l.winSamples),
+		FreqMHz:      l.freqSum / float64(l.winSamples),
+		SkinTempC:    skin.Sample(),
+		ScreenTempC:  screen.Sample(),
+	}
+	if n := len(l.records); l.retainLatest && n > 0 {
+		l.records[n-1] = rec // invariant: n == 1 while retaining latest
+	} else {
+		l.records = append(l.records, rec)
+	}
+	l.winStart = t
+	l.utilSum, l.freqSum, l.winSamples = 0, 0, 0
 }
 
 // Records returns the accumulated log.

@@ -1,0 +1,213 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLegacyStreamReproducible pins the compat shim: a NoiseVersionLegacy
+// sensor must consume exactly the math/rand stream the pre-versioning code
+// consumed, so every committed golden stays valid.
+func TestLegacyStreamReproducible(t *testing.T) {
+	const seed = 421
+	s := NewSensorV(0, 1.0, 0, seed, NoiseVersionLegacy) // no quant, unit noise, no lag
+	ref := rand.New(rand.NewSource(seed))
+	s.Advance(10, 0.05)
+	for i := 0; i < 50; i++ {
+		want := 10 + ref.NormFloat64()
+		if got := s.Sample(); got != want {
+			t.Fatalf("draw %d: legacy sensor %v, raw math/rand %v", i, got, want)
+		}
+	}
+	// Reseed restores the exact just-constructed stream.
+	s.Reseed(seed)
+	ref2 := rand.New(rand.NewSource(seed))
+	s.Advance(10, 0.05)
+	for i := 0; i < 10; i++ {
+		if got, want := s.Sample(), 10+ref2.NormFloat64(); got != want {
+			t.Fatalf("post-reseed draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestCounterStreamDeterministic pins the counter stream identity: equal
+// seeds give equal sequences, Seed is a full restart, and distinct seeds
+// decorrelate.
+func TestCounterStreamDeterministic(t *testing.T) {
+	a, b := NewCounterStream(7), NewCounterStream(7)
+	seq := make([]float64, 64)
+	for i := range seq {
+		seq[i] = a.NormFloat64()
+		if got := b.NormFloat64(); got != seq[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, got, seq[i])
+		}
+	}
+	a.Seed(7)
+	for i := range seq {
+		if got := a.NormFloat64(); got != seq[i] {
+			t.Fatalf("post-Seed draw %d: %v, want %v", i, got, seq[i])
+		}
+	}
+	c := NewCounterStream(8)
+	same := 0
+	for i := range seq {
+		if c.NormFloat64() == seq[i] {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("seed 8 repeated %d draws of seed 7", same)
+	}
+}
+
+// TestCounterStreamSeek pins position seeking at both spare parities —
+// the property replay/checkpointing builds on.
+func TestCounterStreamSeek(t *testing.T) {
+	s := NewCounterStream(99)
+	var draws []float64
+	var poss []uint64
+	for i := 0; i < 21; i++ {
+		poss = append(poss, s.Pos())
+		draws = append(draws, s.NormFloat64())
+	}
+	for i, pos := range poss {
+		r := NewCounterStream(99)
+		r.Seek(pos)
+		for j := i; j < len(draws); j++ {
+			if got := r.NormFloat64(); got != draws[j] {
+				t.Fatalf("seek to pos[%d]=%d: draw %d = %v, want %v", i, pos, j, got, draws[j])
+			}
+		}
+	}
+}
+
+// TestCounterStreamMoments sanity-checks the Box-Muller output: mean ~0,
+// variance ~1, all values finite.
+func TestCounterStreamMoments(t *testing.T) {
+	s := NewCounterStream(3)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("draw %d not finite: %v", i, v)
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 || math.Abs(variance-1) > 0.02 {
+		t.Fatalf("mean %v variance %v, want ~0 / ~1", mean, variance)
+	}
+}
+
+// TestCounterSensorDeterministic pins the versioned constructor: two
+// NoiseVersionCounter sensors with one seed agree sample for sample, and
+// Reseed restarts the stream exactly.
+func TestCounterSensorDeterministic(t *testing.T) {
+	mk := func() *Sensor { return BuiltinTempSensorV(11, NoiseVersionCounter) }
+	a, b := mk(), mk()
+	a.Advance(35, 0.05)
+	b.Advance(35, 0.05)
+	var first []float64
+	for i := 0; i < 20; i++ {
+		v := a.Sample()
+		if w := b.Sample(); w != v {
+			t.Fatalf("sample %d diverged: %v vs %v", i, v, w)
+		}
+		first = append(first, v)
+	}
+	a.Reseed(11)
+	a.Advance(35, 0.05)
+	for i := 0; i < 20; i++ {
+		if got := a.Sample(); got != first[i] {
+			t.Fatalf("post-Reseed sample %d: %v, want %v", i, got, first[i])
+		}
+	}
+}
+
+// TestObserveHeldMatchesObserve pins the event engine's logger contract:
+// feeding non-emitting ticks through ObserveHeld and emitting ticks
+// through Observe produces records bit-identical to feeding every tick
+// through Observe.
+func TestObserveHeldMatchesObserve(t *testing.T) {
+	const dt = 0.05
+	mkSensors := func() (cpu, bat, skin, screen *Sensor) {
+		return BuiltinTempSensor(1), BuiltinTempSensor(2), Thermistor(3), Thermistor(4)
+	}
+	temp := func(k int) float64 { return 30 + 0.01*float64(k) }
+
+	oracle := NewLogger(1.0)
+	oc, ob, os, osc := mkSensors()
+	held := NewLogger(1.0)
+	hc, hb, hs, hsc := mkSensors()
+
+	for k := 1; k <= 200; k++ {
+		tm := float64(k) * dt
+		util := 0.5 + 0.001*float64(k%7)
+		freq := 1000 + float64(k%5)
+		tc := temp(k)
+		oc.Advance(tc, dt)
+		ob.Advance(tc+1, dt)
+		os.Advance(tc+2, dt)
+		osc.Advance(tc+3, dt)
+		oracle.Observe(tm, util, freq, oc, ob, os, osc)
+
+		hc.Advance(tc, dt)
+		hb.Advance(tc+1, dt)
+		hs.Advance(tc+2, dt)
+		hsc.Advance(tc+3, dt)
+		if held.WouldEmit(tm) || !heldStarted(held) {
+			held.Observe(tm, util, freq, hc, hb, hs, hsc)
+		} else {
+			held.ObserveHeld(tm, util, freq)
+		}
+	}
+	or, hr := oracle.Records(), held.Records()
+	if len(or) == 0 || len(or) != len(hr) {
+		t.Fatalf("record counts: oracle %d, held %d", len(or), len(hr))
+	}
+	for i := range or {
+		if or[i] != hr[i] {
+			t.Fatalf("record %d diverged:\noracle %+v\nheld   %+v", i, or[i], hr[i])
+		}
+	}
+}
+
+// heldStarted mirrors the engine's "first tick is canonical" rule: before
+// the logger has started, route through Observe so the window opens the
+// same way. (ObserveHeld opens it identically; this just keeps the test's
+// routing faithful to the engine.)
+func heldStarted(l *Logger) bool { return l.started }
+
+// TestSensorAlphaAccessors pins the externally-integrated-lag contract:
+// Alpha returns the exact coefficient Advance uses, and
+// LagState/SetLagState round-trip the recurrence.
+func TestSensorAlphaAccessors(t *testing.T) {
+	const dt = 0.05
+	s := BuiltinTempSensor(5)
+	s.Advance(30, dt) // primes: state = 30
+	alpha := s.Alpha(dt)
+	if want := 1 - math.Exp(-dt/s.LagTau); alpha != want {
+		t.Fatalf("Alpha(%v) = %v, want %v", dt, alpha, want)
+	}
+	ref := BuiltinTempSensor(5)
+	ref.Advance(30, dt)
+	ext := s.LagState()
+	for k := 0; k < 40; k++ {
+		tc := 31 + 0.1*float64(k)
+		ref.Advance(tc, dt)
+		ext += alpha * (tc - ext)
+	}
+	s.SetLagState(ext)
+	if got, want := s.LagState(), ref.LagState(); got != want {
+		t.Fatalf("external recurrence %v != Advance %v", got, want)
+	}
+	// Degenerate lags report alpha 1 (state tracks input exactly).
+	d := NewSensor(0, 0, 0, 1)
+	if got := d.Alpha(dt); got != 1 {
+		t.Fatalf("degenerate Alpha = %v, want 1", got)
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleEq compares samples exactly: the boundary contract promises bit
+// constancy between change points, not approximate constancy.
+func sampleEq(a, b Sample) bool { return a == b }
+
+// checkConstancyContract walks w at a fine probe step and asserts the two
+// halves of the BoundaryQueried contract: NextChange(t) > t everywhere
+// inside the workload, and At is constant on [t, NextChange(t)).
+func checkConstancyContract(t *testing.T, w Workload) {
+	t.Helper()
+	next := NextChangeOf(w)
+	if next == nil {
+		t.Fatalf("%s: no boundary query", w.Name())
+	}
+	const probe = 0.05 // the simulator's StepSec
+	dur := w.Duration()
+	if dur > 700 {
+		dur = 700 // 90-minute programs: the first phases exercise everything
+	}
+	segStart := 0.0
+	segEnd := next(0)
+	ref := w.At(0)
+	checked := 0
+	for k := 1; ; k++ {
+		tm := float64(k) * probe
+		if tm >= dur {
+			break
+		}
+		if tm >= segEnd {
+			if segEnd <= segStart {
+				t.Fatalf("%s: NextChange(%v) = %v, not after t", w.Name(), segStart, segEnd)
+			}
+			segStart = tm
+			segEnd = next(tm)
+			ref = w.At(tm)
+			continue
+		}
+		if got := w.At(tm); !sampleEq(got, ref) {
+			t.Fatalf("%s: sample changed inside segment [%v,%v): At(%v)=%+v, segment ref %+v",
+				w.Name(), segStart, segEnd, tm, got, ref)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("%s: contract never exercised", w.Name())
+	}
+}
+
+// TestNextChangeConstancyBenchmarks pins the held-sample contract on every
+// benchmark program the paper evaluates (plus the daily mix), at two seeds.
+func TestNextChangeConstancyBenchmarks(t *testing.T) {
+	for _, seed := range []uint64{1, 77} {
+		for _, p := range Benchmarks(seed) {
+			checkConstancyContract(t, p)
+		}
+		checkConstancyContract(t, DailyMix(seed))
+	}
+}
+
+// TestNextChangeSyntheticBursts stresses the burst-edge inverse mapping
+// with awkward (non-dyadic) periods and duties, including duty 0 and
+// duty >= 1 degenerate shapes.
+func TestNextChangeSyntheticBursts(t *testing.T) {
+	progs := []*Program{
+		New("burst-odd", 3,
+			Phase{Name: "a", Dur: 30, BurstPeriod: 0.7, BurstDuty: 0.3, BurstHigh: 1.2, BurstLow: 0.1},
+			Phase{Name: "b", Dur: 30, BurstPeriod: 1.3, BurstDuty: 0.61, BurstHigh: 0.9, BurstLow: 0.2, CPUJitter: 0.05},
+		),
+		New("burst-deg", 9,
+			Phase{Name: "never", Dur: 20, BurstPeriod: 2, BurstDuty: 0, BurstHigh: 1, BurstLow: 0.3},
+			Phase{Name: "always", Dur: 20, BurstPeriod: 2, BurstDuty: 1, BurstHigh: 1, BurstLow: 0.3},
+		),
+		New("jitter-only", 4,
+			Phase{Name: "j", Dur: 45, CPU: 0.4, CPUJitter: 0.1, GPUJitter: 0.2, GPU: 0.5},
+		),
+	}
+	for _, p := range progs {
+		checkConstancyContract(t, p)
+	}
+}
+
+// TestNextChangeEdges pins the out-of-range behaviour and the Truncated
+// delegation (clip point becomes a boundary; unsupported inner → nil).
+func TestNextChangeEdges(t *testing.T) {
+	p := Skype(5)
+	if got := p.NextChange(-3); got != 0 {
+		t.Fatalf("NextChange(-3) = %v, want 0", got)
+	}
+	if got := p.NextChange(p.Duration()); !math.IsInf(got, 1) {
+		t.Fatalf("NextChange(end) = %v, want +Inf", got)
+	}
+	// A jitter-free constant inner program: its only change point is far
+	// beyond the clip, so the clip itself must surface as the boundary.
+	flat := New("flat", 1, Phase{Name: "on", Dur: 100, CPU: 0.5})
+	tr := Truncated{W: flat, Dur: 10}
+	next := NextChangeOf(tr)
+	if next == nil {
+		t.Fatal("Truncated over Program lost the boundary query")
+	}
+	if got := next(9.99); got != 10 {
+		t.Fatalf("truncated NextChange(9.99) = %v, want clip point 10", got)
+	}
+	if got := next(10); !math.IsInf(got, 1) {
+		t.Fatalf("truncated NextChange(10) = %v, want +Inf", got)
+	}
+	// An At-only workload has no boundary query, truncated or not.
+	if NextChangeOf(opaque{}) != nil || NextChangeOf(Truncated{W: opaque{}, Dur: 5}) != nil {
+		t.Fatal("opaque workload unexpectedly reports a boundary query")
+	}
+}
+
+type opaque struct{}
+
+func (opaque) Name() string      { return "opaque" }
+func (opaque) Duration() float64 { return 100 }
+func (opaque) At(float64) Sample { return Sample{CPUFrac: 0.5} }

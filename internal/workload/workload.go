@@ -274,6 +274,113 @@ func (p *Program) Cursor() func(t float64) Sample {
 	}
 }
 
+// boundaryMargin is subtracted from every NextChange result. Burst edges
+// are recovered by inverse-mapping the fractional burst position back to a
+// time, which can land a few ulp after the instant where At's forward
+// comparison actually flips; reporting the boundary marginally early is
+// always safe (the caller re-samples sooner than strictly necessary),
+// while reporting it late would let a held sample outlive its truth.
+const boundaryMargin = 1e-9
+
+// NextChange returns the earliest time u > t at which the program's sample
+// may differ from At(t): the end of the active phase, the next jitter slot
+// (jitter re-rolls each second), or the next burst edge. Between t and the
+// returned time, At is constant. Outside the program it returns 0 (for
+// t < 0, where the next change is the program start) or +Inf (at or past
+// the end, where the sample is zero forever).
+func (p *Program) NextChange(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t >= p.total {
+		return math.Inf(1)
+	}
+	lo, hi := 0, len(p.phases)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.offsets[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	ph := &p.phases[lo]
+	next := p.offsets[lo] + ph.Dur // phase end (== p.total for the last phase)
+	if ph.CPUJitter > 0 || ph.GPUJitter > 0 {
+		if u := math.Floor(t) + 1; u < next {
+			next = u
+		}
+	}
+	if ph.BurstPeriod > 0 {
+		f := (t - p.offsets[lo]) * p.burstInv[lo]
+		base := math.Floor(f)
+		var edge float64
+		if f-base < ph.BurstDuty {
+			edge = base + ph.BurstDuty // high → low within this period
+		} else {
+			edge = base + 1 // low → high at the next period
+		}
+		u := p.offsets[lo] + edge*ph.BurstPeriod
+		if u <= t {
+			// The inverse map rounded the edge onto (or below) t itself:
+			// the flip is imminent, within a few ulp. The smallest honest
+			// answer is the very next representable time.
+			u = math.Nextafter(t, math.Inf(1))
+		}
+		if u < next {
+			next = u
+		}
+	}
+	if u := next - boundaryMargin; u > t {
+		return u
+	}
+	return next
+}
+
+// BoundaryQueried is the optional event-engine interface: workloads that
+// can report the next time their sample may change admit held-input
+// segment folding (see device.EventRun). The contract is conservative:
+// At must be constant on [t, NextChange(t)), and NextChange(t) > t for
+// every t inside the workload. Reporting a change that doesn't happen is
+// legal (it only costs a shorter segment); missing one is not.
+type BoundaryQueried interface {
+	NextChange(t float64) float64
+}
+
+// NextChangeOf returns w's boundary query, or nil when w doesn't support
+// one (callers fall back to tick-by-tick stepping). Truncated wrappers
+// delegate to the inner workload and add the clip point itself as a final
+// boundary.
+func NextChangeOf(w Workload) func(t float64) float64 {
+	switch x := w.(type) {
+	case Truncated:
+		return truncatedNextChange(x)
+	case *Truncated:
+		return truncatedNextChange(*x)
+	case BoundaryQueried:
+		return x.NextChange
+	}
+	return nil
+}
+
+func truncatedNextChange(tr Truncated) func(t float64) float64 {
+	inner := NextChangeOf(tr.W)
+	if inner == nil {
+		return nil
+	}
+	dur := tr.Dur
+	return func(t float64) float64 {
+		if t >= dur {
+			return math.Inf(1)
+		}
+		u := inner(t)
+		if u > dur {
+			u = dur // the clip itself is a change point (sample drops to zero)
+		}
+		return u
+	}
+}
+
 // PhaseAt returns the name of the phase active at time t, or "" outside the
 // program.
 func (p *Program) PhaseAt(t float64) string {

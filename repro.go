@@ -91,6 +91,10 @@ type (
 	Controller = device.Controller
 	// Governor is the cpufreq policy interface.
 	Governor = governor.Governor
+	// EventMode selects the stepping engine (fixed-tick oracle or the
+	// event-driven engines; see device.EventMode for the exactness
+	// guarantees of each mode).
+	EventMode = device.EventMode
 
 	// Session is one simulated handset behind options-based construction
 	// and context-aware execution.
@@ -175,6 +179,29 @@ type (
 // DefaultLimitC is the "default user" comfort limit (37 °C), the average of
 // the study population's reported limits.
 const DefaultLimitC = users.DefaultLimitC
+
+// Event stepping modes, re-exported for callers configuring fleets or
+// scenarios without importing internal packages.
+const (
+	EventOff    = device.EventOff
+	EventTick   = device.EventTick
+	EventOracle = device.EventOracle
+	EventJump   = device.EventJump
+)
+
+// ParseEventMode parses the CLI spelling of an event mode
+// (off|tick|oracle|jump).
+func ParseEventMode(s string) (EventMode, error) { return device.ParseEventMode(s) }
+
+// Sensor noise stream versions for DeviceConfig.NoiseVersion: legacy is
+// the math/rand stream every committed golden was generated with;
+// counter is the splitmix64 counter stream with O(1) reseeding
+// (recommended for large fleet sweeps, where legacy reseeding is a
+// fixed per-job cost).
+const (
+	NoiseVersionLegacy  = sensors.NoiseVersionLegacy
+	NoiseVersionCounter = sensors.NoiseVersionCounter
+)
 
 // DefaultDeviceConfig returns the calibrated Nexus-4-like device
 // configuration.
@@ -320,6 +347,7 @@ type scenarioRun struct {
 	pred     *Predictor
 	sink     Sink
 	progress func(done, total int)
+	event    EventMode
 }
 
 // ScenarioOption configures RunScenario.
@@ -375,6 +403,15 @@ func ScenarioPredictor(p *Predictor) ScenarioOption { return func(rc *scenarioRu
 // Combined with the spec's trace_free, a sweep of any size runs with O(1)
 // sample memory. RunScenario does not close the sink.
 func ScenarioSink(s Sink) ScenarioOption { return func(rc *scenarioRun) { rc.sink = s } }
+
+// ScenarioEventMode runs the sweep on the selected stepping engine.
+// EventTick is byte-identical to the default loop; EventJump replays the
+// scheduling plane exactly while thermal observables carry the held-input
+// discretization tolerance (see EventMode). Composes with every runner
+// shape — local, batched, sharded, networked.
+func ScenarioEventMode(m EventMode) ScenarioOption {
+	return func(rc *scenarioRun) { rc.event = m }
+}
 
 // ScenarioProgress reports per-job completion (calls are serialized).
 func ScenarioProgress(fn func(done, total int)) ScenarioOption {
@@ -438,6 +475,7 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 		Seed:       spec.Seeds.Base,
 		OnProgress: rc.progress,
 		Sink:       runSink,
+		Event:      rc.event,
 	}
 	if rc.batched && rc.runner != nil {
 		switch rc.runner.(type) {
