@@ -21,6 +21,13 @@
 // put a token bucket in front of POST /jobs (submissions beyond it get
 // 429). SIGTERM/SIGINT drains: running jobs are cancelled, the HTTP
 // listener closes, and the process exits 0.
+//
+// With -state-dir, every submission and each completed cell is journaled
+// to a write-ahead log before it is acknowledged. After a crash (or a
+// drain) a restart with the same -state-dir restores finished jobs'
+// status and results and resumes interrupted sweeps, re-running only the
+// cells the ledger is missing — final aggregates are byte-identical to an
+// uninterrupted run. -job-deadline bounds each sweep's wall-clock time.
 package main
 
 import (
@@ -37,17 +44,20 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/fleet/durable"
 	fleetnet "repro/internal/fleet/net"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address for the job API")
-		hosts   = flag.String("hosts", "", "comma-separated ustaworker daemon addresses (empty: run jobs on the in-process pool)")
-		workers = flag.Int("workers", 0, "worker pool width per job (0 = GOMAXPROCS)")
-		rate    = flag.Float64("admit-rate", 0, "admission token refill rate in jobs/sec (0 = always admit)")
-		burst   = flag.Int("admit-burst", 1, "admission token bucket burst size")
-		fallbk  = flag.Bool("local-fallback", false, "with -hosts: when every worker host stays down past the recovery deadline, finish the remaining jobs on the in-process pool instead of failing them")
+		listen   = flag.String("listen", "127.0.0.1:8080", "HTTP listen address for the job API")
+		hosts    = flag.String("hosts", "", "comma-separated ustaworker daemon addresses (empty: run jobs on the in-process pool)")
+		workers  = flag.Int("workers", 0, "worker pool width per job (0 = GOMAXPROCS)")
+		rate     = flag.Float64("admit-rate", 0, "admission token refill rate in jobs/sec (0 = always admit)")
+		burst    = flag.Int("admit-burst", 1, "admission token bucket burst size")
+		fallbk   = flag.Bool("local-fallback", false, "with -hosts: when every worker host stays down past the recovery deadline, finish the remaining jobs on the in-process pool instead of failing them")
+		stateDir = flag.String("state-dir", "", "directory of per-job write-ahead logs; on restart, finished jobs are restored and interrupted sweeps resume from their completed-cell ledger (empty: in-memory only)")
+		jobDeadl = flag.Duration("job-deadline", 0, "wall-clock deadline per submitted sweep, e.g. 30m (0: none)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "ustafleetd: ", log.LstdFlags)
@@ -68,8 +78,24 @@ func main() {
 	js := fleetnet.NewJobServer(runner)
 	js.Workers = *workers
 	js.Logf = logger.Printf
+	js.JobDeadline = *jobDeadl
 	if *rate > 0 {
 		js.Admission = fleetnet.NewTokenBucket(*rate, *burst)
+	}
+	if *stateDir != "" {
+		store, err := durable.OpenStore(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ustafleetd: state dir:", err)
+			os.Exit(1)
+		}
+		js.Store = store
+		// Replay the WAL before the listener opens: finished jobs answer
+		// status queries again, interrupted sweeps resume immediately.
+		if err := js.Recover(); err != nil {
+			fmt.Fprintln(os.Stderr, "ustafleetd: recover:", err)
+			os.Exit(1)
+		}
+		logger.Printf("state dir %s: recovery complete", *stateDir)
 	}
 
 	srv := &http.Server{Addr: *listen, Handler: js.Handler()}

@@ -56,6 +56,8 @@ func main() {
 		event      = flag.String("event", "off", "scenario stepping engine: off|tick|oracle|jump (tick is byte-identical to off; jump replays scheduling exactly with held-input thermal tolerance)")
 		fallbk     = flag.Bool("local-fallback", false, "with -hosts: when every host stays down past the coordinator's recovery deadline, finish the remaining jobs in-process instead of failing them")
 		statsJSON  = flag.String("stats-json", "", "with -hosts: write the coordinator's end-of-run RunnerStats snapshot (redials, hedges, breaker states) to this JSON file")
+		walPath    = flag.String("wal", "", "journal the scenario sweep to this write-ahead log; a killed run can continue with -resume, re-running only unfinished cells")
+		resume     = flag.Bool("resume", false, "continue the interrupted sweep journaled in -wal (aggregates byte-identical to an uninterrupted run)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -93,6 +95,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ustasim: -event requires -scenario")
 		os.Exit(1)
 	}
+	if *walPath != "" && *scenPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -wal requires -scenario")
+		os.Exit(1)
+	}
+	if *resume && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "ustasim: -resume requires -wal")
+		os.Exit(1)
+	}
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ustasim:", err)
@@ -104,6 +114,7 @@ func main() {
 		mlpEpochs: *mlpEpochs, csvDir: *csvDir, repN: *repN,
 		workers: *workers, shards: *shards, hosts: *hosts, batch: *batch,
 		localFallback: *fallbk, statsPath: *statsJSON, event: *event,
+		walPath: *walPath, resume: *resume,
 	}
 	if err := realMain(opts); err != nil {
 		stopProfiles()
@@ -176,6 +187,8 @@ type cliOptions struct {
 	localFallback bool
 	statsPath     string
 	event         string
+	walPath       string
+	resume        bool
 }
 
 func realMain(o cliOptions) error {
@@ -195,7 +208,7 @@ func realMain(o cliOptions) error {
 		if flagErr != nil {
 			return flagErr
 		}
-		return runScenario(o.scenPath, o.workers, o.shards, o.hosts, o.batch, o.localFallback, o.event, o.jsonlPath, o.csvDir, o.statsPath, os.Stdout)
+		return runScenario(o, os.Stdout)
 	}
 
 	cfg := experiments.DefaultConfig()

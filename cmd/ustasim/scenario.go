@@ -24,23 +24,26 @@ import (
 // aggregates and streams are identical under every combination.
 // localFallback lets a hosts run finish on the in-process pool when every
 // host stays down past the coordinator's recovery deadline. event selects
-// the stepping engine (off|tick|oracle|jump; see repro.EventMode). Coordinator
+// the stepping engine (off|tick|oracle|jump; see repro.EventMode). walPath
+// journals the sweep to a write-ahead log and resume continues one that
+// was killed partway, re-running only unfinished cells — outputs stay
+// byte-identical to an uninterrupted run. Coordinator
 // recovery logs and the end-of-run stats snapshot go to stderr so stdout
 // stays byte-comparable across runner choices; statsPath additionally
 // dumps that end-of-run RunnerStats snapshot as JSON for tooling.
-func runScenario(path string, workers, shards int, hosts string, batch, localFallback bool, event, jsonlPath, csvDir, statsPath string, out io.Writer) error {
-	mode, err := repro.ParseEventMode(event)
+func runScenario(o cliOptions, out io.Writer) error {
+	mode, err := repro.ParseEventMode(o.event)
 	if err != nil {
 		return err
 	}
-	spec, err := repro.LoadScenario(path)
+	spec, err := repro.LoadScenario(o.scenPath)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, spec)
 
 	opts := []repro.ScenarioOption{
-		repro.ScenarioWorkers(workers),
+		repro.ScenarioWorkers(o.workers),
 		repro.ScenarioProgress(func(done, total int) {
 			if done == total || done%50 == 0 {
 				fmt.Fprintf(out, "\r%d/%d jobs", done, total)
@@ -52,39 +55,45 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 	}
 	var writeStats func() error
 	switch {
-	case hosts != "":
-		hs := strings.Split(hosts, ",")
+	case o.hosts != "":
+		hs := strings.Split(o.hosts, ",")
 		for i := range hs {
 			hs[i] = strings.TrimSpace(hs[i])
 		}
 		nr := repro.NewNetRunner(hs)
-		nr.FallbackLocal = localFallback
+		nr.FallbackLocal = o.localFallback
 		nr.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ustasim: "+format+"\n", args...)
 		}
 		opts = append(opts, repro.ScenarioRunner(nr))
-		if statsPath != "" {
+		if o.statsPath != "" {
 			writeStats = func() error {
 				data, err := json.MarshalIndent(nr.Stats(), "", "  ")
 				if err != nil {
 					return err
 				}
-				return os.WriteFile(statsPath, append(data, '\n'), 0o644)
+				return os.WriteFile(o.statsPath, append(data, '\n'), 0o644)
 			}
 		}
-	case shards != 0:
-		opts = append(opts, repro.ScenarioShards(shards))
+	case o.shards != 0:
+		opts = append(opts, repro.ScenarioShards(o.shards))
 	}
-	if batch {
+	if o.batch {
 		opts = append(opts, repro.WithBatchedRunner())
 	}
 	if mode != repro.EventOff {
 		opts = append(opts, repro.ScenarioEventMode(mode))
 	}
+	if o.walPath != "" {
+		opts = append(opts, repro.ScenarioWAL(o.walPath))
+		if o.resume {
+			opts = append(opts, repro.ScenarioResume())
+		}
+	}
 	var jsonlFile *os.File
 	var jsonlSink repro.Sink
-	if jsonlPath != "" {
-		jsonlFile, err = os.Create(jsonlPath)
+	if o.jsonlPath != "" {
+		jsonlFile, err = os.Create(o.jsonlPath)
 		if err != nil {
 			return err
 		}
@@ -108,12 +117,12 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 		// Written before the first-error check: the recovery counters are
 		// most interesting precisely when some jobs failed.
 		if err := writeStats(); err != nil {
-			return fmt.Errorf("stats snapshot %s: %w", statsPath, err)
+			return fmt.Errorf("stats snapshot %s: %w", o.statsPath, err)
 		}
 	}
 	if jsonlSink != nil {
 		if err := jsonlSink.Close(); err != nil {
-			return fmt.Errorf("jsonl stream %s: %w", jsonlPath, err)
+			return fmt.Errorf("jsonl stream %s: %w", o.jsonlPath, err)
 		}
 		f := jsonlFile
 		jsonlFile = nil
@@ -146,28 +155,28 @@ func runScenario(path string, workers, shards int, hosts string, batch, localFal
 		fmt.Fprintln(out, repro.DeltasMarkdown(deltas, base, alt))
 	}
 
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+	if o.csvDir != "" {
+		if err := os.MkdirAll(o.csvDir, 0o755); err != nil {
 			return err
 		}
-		if err := writeCSV(filepath.Join(csvDir, "comfort.csv"), func(w io.Writer) error {
+		if err := writeCSV(filepath.Join(o.csvDir, "comfort.csv"), func(w io.Writer) error {
 			return repro.WriteComfortCSV(w, comfort)
 		}); err != nil {
 			return err
 		}
 		if showHeat {
-			if err := writeCSV(filepath.Join(csvDir, "heatmap.csv"), heat.WriteCSV); err != nil {
+			if err := writeCSV(filepath.Join(o.csvDir, "heatmap.csv"), heat.WriteCSV); err != nil {
 				return err
 			}
 		}
 		if deltas != nil {
-			if err := writeCSV(filepath.Join(csvDir, "deltas.csv"), func(w io.Writer) error {
+			if err := writeCSV(filepath.Join(o.csvDir, "deltas.csv"), func(w io.Writer) error {
 				return repro.WriteDeltasCSV(w, deltas)
 			}); err != nil {
 				return err
 			}
 		}
-		fmt.Fprintf(out, "aggregates written to %s\n", csvDir)
+		fmt.Fprintf(out, "aggregates written to %s\n", o.csvDir)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -17,6 +19,16 @@ import (
 func TestMain(m *testing.M) {
 	repro.ShardWorkerMain()
 	os.Exit(m.Run())
+}
+
+// scenOpts builds a runScenario option set for one sweep file; mutate
+// extras in the callback (nil for the defaults).
+func scenOpts(path string, mod func(*cliOptions)) cliOptions {
+	o := cliOptions{scenPath: path, event: "off"}
+	if mod != nil {
+		mod(&o)
+	}
+	return o
 }
 
 // TestRunScenarioSmoke drives the -scenario path end to end on a tiny
@@ -41,7 +53,7 @@ trace_free: true
 	csvDir := filepath.Join(dir, "out")
 
 	var out strings.Builder
-	if err := runScenario(specPath, 2, 0, "", false, false, "off", jsonl, csvDir, "", &out); err != nil {
+	if err := runScenario(scenOpts(specPath, func(o *cliOptions) { o.workers = 2; o.jsonlPath = jsonl; o.csvDir = csvDir }), &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -63,7 +75,7 @@ trace_free: true
 	jsonl2 := filepath.Join(dir, "samples_sharded.jsonl")
 	csvDir2 := filepath.Join(dir, "out_sharded")
 	var out2 strings.Builder
-	if err := runScenario(specPath, 2, 2, "", false, false, "off", jsonl2, csvDir2, "", &out2); err != nil {
+	if err := runScenario(scenOpts(specPath, func(o *cliOptions) { o.workers = 2; o.shards = 2; o.jsonlPath = jsonl2; o.csvDir = csvDir2 }), &out2); err != nil {
 		t.Fatalf("sharded run: %v", err)
 	}
 	data2, err := os.ReadFile(jsonl2)
@@ -96,14 +108,14 @@ trace_free: true
 	}
 
 	// Bad spec path and bad spec content both surface as errors.
-	if err := runScenario(filepath.Join(dir, "missing.json"), 1, 0, "", false, false, "off", "", "", "", &out); err == nil {
+	if err := runScenario(scenOpts(filepath.Join(dir, "missing.json"), func(o *cliOptions) { o.workers = 1 }), &out); err == nil {
 		t.Fatal("missing file should fail")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"version": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenario(bad, 1, 0, "", false, false, "off", "", "", "", &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
+	if err := runScenario(scenOpts(bad, func(o *cliOptions) { o.workers = 1 }), &out); err == nil || !strings.Contains(err.Error(), "no workloads") {
 		t.Fatalf("invalid spec error = %v", err)
 	}
 }
@@ -144,7 +156,13 @@ func TestRunScenarioBatchSmoke(t *testing.T) {
 		jsonl := filepath.Join(dir, label+".jsonl")
 		csvDir := filepath.Join(dir, label)
 		var out strings.Builder
-		if err := runScenario(specPath, 2, shards, "", batch, false, "off", jsonl, csvDir, "", &out); err != nil {
+		if err := runScenario(scenOpts(specPath, func(o *cliOptions) {
+			o.workers = 2
+			o.shards = shards
+			o.batch = batch
+			o.jsonlPath = jsonl
+			o.csvDir = csvDir
+		}), &out); err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		data, err := os.ReadFile(jsonl)
@@ -207,7 +225,7 @@ func TestRunScenarioHostsSmoke(t *testing.T) {
 		jsonl := filepath.Join(dir, label+".jsonl")
 		csvDir := filepath.Join(dir, label)
 		var out strings.Builder
-		if err := runScenario(specPath, 2, 0, hosts, false, false, "off", jsonl, csvDir, "", &out); err != nil {
+		if err := runScenario(scenOpts(specPath, func(o *cliOptions) { o.workers = 2; o.hosts = hosts; o.jsonlPath = jsonl; o.csvDir = csvDir }), &out); err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
 		data, err := os.ReadFile(jsonl)
@@ -240,6 +258,74 @@ func TestRunScenarioHostsSmoke(t *testing.T) {
 	}
 }
 
+// TestRunScenarioResumeSmoke is the CLI half of the durable-sweep
+// acceptance: a `-wal` run journals the sweep; crashes are simulated by
+// truncating the journal at several byte offsets; each `-resume` run must
+// write aggregate tables byte-identical to the uninterrupted run.
+func TestRunScenarioResumeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSmokeSpec(t, dir)
+
+	run := func(label, wal string, resume bool) map[string]string {
+		t.Helper()
+		csvDir := filepath.Join(dir, label)
+		var out strings.Builder
+		if err := runScenario(scenOpts(specPath, func(o *cliOptions) {
+			o.workers = 2
+			o.walPath = wal
+			o.resume = resume
+			o.csvDir = csvDir
+		}), &out); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		tables := map[string]string{}
+		for _, f := range []string{"comfort.csv", "heatmap.csv"} {
+			tb, err := os.ReadFile(filepath.Join(csvDir, f))
+			if err != nil {
+				t.Fatalf("%s: aggregate %s not written: %v", label, f, err)
+			}
+			tables[f] = string(tb)
+		}
+		return tables
+	}
+
+	cleanWal := filepath.Join(dir, "clean.wal")
+	clean := run("clean", cleanWal, false)
+	walData, err := os.ReadFile(cleanWal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First frame after the 8-byte header is the submission record:
+	// [4B len][1B type][payload][4B crc].
+	submitEnd := 8 + 4 + 1 + int(binary.LittleEndian.Uint32(walData[8:])) + 4
+	cuts := []int{
+		submitEnd + 10,                 // torn mid cell table: full re-run
+		(submitEnd + len(walData)) / 2, // partial ledger survives
+		len(walData) - 5,               // torn status: every cell ledgered
+	}
+	for i, cut := range cuts {
+		label := fmt.Sprintf("cut%d", i)
+		walPath := filepath.Join(dir, label+".wal")
+		if err := os.WriteFile(walPath, walData[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := run(label, walPath, true)
+		for f, want := range clean {
+			if got[f] != want {
+				t.Fatalf("%s (cut %d/%d): aggregate %s diverged:\n%s\nvs\n%s",
+					label, cut, len(walData), f, got[f], want)
+			}
+		}
+	}
+
+	// An existing journal without -resume is refused, not overwritten.
+	var out strings.Builder
+	err = runScenario(scenOpts(specPath, func(o *cliOptions) { o.workers = 1; o.walPath = cleanWal }), &out)
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("overwrite refusal: err = %v", err)
+	}
+}
+
 // TestProfileFlagsSmoke exercises -cpuprofile/-memprofile end to end: both
 // profiles must come out non-empty after a scenario run.
 func TestProfileFlagsSmoke(t *testing.T) {
@@ -252,7 +338,7 @@ func TestProfileFlagsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runScenario(specPath, 1, 0, "", true, false, "off", "", "", "", &out); err != nil {
+	if err := runScenario(scenOpts(specPath, func(o *cliOptions) { o.workers = 1; o.batch = true }), &out); err != nil {
 		stop()
 		t.Fatal(err)
 	}

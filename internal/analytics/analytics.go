@@ -161,6 +161,18 @@ func (v *ViolationSink) Accept(job sink.JobID, s device.Sample) {
 // Close is a no-op; the sink holds no external resources.
 func (v *ViolationSink) Close() error { return nil }
 
+// Accum returns job i's accumulated counters (zero outside the table).
+// Durability ledgers journal it per completed cell so a resumed trace-free
+// sweep restores the exact violation statistics the lost stream produced.
+// Like Apply, call it only after the job's samples are all delivered
+// (Fleet.Run's OnResult callback, or after Run returns).
+func (v *ViolationSink) Accum(i int) ViolationAccum {
+	if i < 0 || i >= len(v.acc) {
+		return ViolationAccum{}
+	}
+	return v.acc[i]
+}
+
 // Apply fills each stat's OverFrac/MeanExcessC from the accumulated
 // stream, keyed by job index. Call it after the run completes (Fleet.Run's
 // return is the ordering barrier); stats whose job saw no samples are left

@@ -176,6 +176,14 @@ func (r BatchRunner) Run(ctx context.Context, cfg Config, jobs []Job) []JobResul
 			solo = append(solo, i)
 			continue
 		}
+		if job.DeadlineSec > 0 {
+			// A lockstep wave advances every member together; expiring one
+			// mid-wave would force partial-wave bookkeeping for a job that is
+			// by definition on a nondeterministic path already. Deadline jobs
+			// run solo, where runJob's derived context enforces the bound.
+			solo = append(solo, i)
+			continue
+		}
 		pr := probe(job.Device)
 		if !pr.ok || pr.dt <= 0 {
 			solo = append(solo, i)

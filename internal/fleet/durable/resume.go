@@ -1,0 +1,297 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/analytics"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+)
+
+// replay folds a job log's raw records into typed state. Later records
+// win per cell index, so replaying a log twice is idempotent.
+func replay(recs []Record) (sub *Submission, cells []CellRef, done map[int]CellResult, status *Status, err error) {
+	done = map[int]CellResult{}
+	for _, r := range recs {
+		switch r.Type {
+		case recSubmit:
+			var s Submission
+			if err = json.Unmarshal(r.Payload, &s); err != nil {
+				err = fmt.Errorf("durable: submission record: %w", err)
+				return
+			}
+			sub = &s
+		case recCells:
+			var cs []CellRef
+			if err = json.Unmarshal(r.Payload, &cs); err != nil {
+				err = fmt.Errorf("durable: cell table: %w", err)
+				return
+			}
+			cells = cs
+		case recCell:
+			var c CellResult
+			if err = json.Unmarshal(r.Payload, &c); err != nil {
+				err = fmt.Errorf("durable: cell record: %w", err)
+				return
+			}
+			done[c.Index] = c
+		case recStatus:
+			var st Status
+			if err = json.Unmarshal(r.Payload, &st); err != nil {
+				err = fmt.Errorf("durable: status record: %w", err)
+				return
+			}
+			status = &st
+		default:
+			err = fmt.Errorf("durable: unknown record type 0x%02x", r.Type)
+			return
+		}
+	}
+	return
+}
+
+// GridCells extracts the journaled cell table from an expanded grid.
+func GridCells(grid *scenario.Grid) []CellRef {
+	out := make([]CellRef, len(grid.Points))
+	for i, p := range grid.Points {
+		out[i] = CellRef{Name: p.Name, Seed: p.Seed}
+	}
+	return out
+}
+
+// Plan is a verified resume: the full grid, the ledgered cells, and the
+// indices still to run.
+type Plan struct {
+	Grid *scenario.Grid
+	Done map[int]CellResult
+	Todo []int
+}
+
+// NewPlan verifies a journaled cell table (and ledger) against a freshly
+// re-expanded grid and returns the resume plan. Any mismatch — cell
+// count, a cell's name or seed — means the spec no longer expands to the
+// sweep the ledger describes, and resuming would silently mix physics; it
+// fails with a descriptive error instead. Ledger entries are verified the
+// same way. cells may be nil (crash before expansion): the plan is then
+// simply "run everything".
+func NewPlan(grid *scenario.Grid, cells []CellRef, done map[int]CellResult) (*Plan, error) {
+	if cells != nil {
+		if len(cells) != len(grid.Points) {
+			return nil, fmt.Errorf("durable: journaled sweep has %d cells, spec expands to %d", len(cells), len(grid.Points))
+		}
+		for i, c := range cells {
+			p := grid.Points[i]
+			if c.Name != p.Name || c.Seed != p.Seed {
+				return nil, fmt.Errorf("durable: cell %d mismatch: journal has (%s, seed %d), spec expands to (%s, seed %d)",
+					i, c.Name, c.Seed, p.Name, p.Seed)
+			}
+		}
+	}
+	p := &Plan{Grid: grid, Done: map[int]CellResult{}}
+	for idx, c := range done {
+		if cells == nil {
+			return nil, fmt.Errorf("durable: ledger entry for cell %d but no journaled cell table", idx)
+		}
+		if idx < 0 || idx >= len(grid.Points) {
+			return nil, fmt.Errorf("durable: ledger entry for cell %d outside the %d-cell grid", idx, len(grid.Points))
+		}
+		if pt := grid.Points[idx]; c.Name != pt.Name {
+			return nil, fmt.Errorf("durable: ledger cell %d named %q, grid cell is %q", idx, c.Name, pt.Name)
+		}
+		p.Done[idx] = c
+	}
+	for i := range grid.Points {
+		if _, ok := p.Done[i]; !ok {
+			p.Todo = append(p.Todo, i)
+		}
+	}
+	return p, nil
+}
+
+// Complete reports whether nothing is left to run.
+func (p *Plan) Complete() bool { return len(p.Todo) == 0 }
+
+// SubGrid returns the grid restricted to the unfinished cells plus the
+// subset→full index remap table. When nothing was recovered it returns
+// the full grid and a nil remap (no translation layer needed).
+func (p *Plan) SubGrid() (*scenario.Grid, []int, error) {
+	if len(p.Done) == 0 {
+		return p.Grid, nil, nil
+	}
+	sub, err := p.Grid.Subset(p.Todo)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The remap must stay non-nil even when Todo is empty (every cell
+	// ledgered): callers key the "merge restored cells around the live
+	// subset" path off remap != nil.
+	remap := make([]int, len(p.Todo))
+	copy(remap, p.Todo)
+	return sub, remap, nil
+}
+
+// RestoredResult rebuilds a ledgered cell's JobResult at its full-grid
+// index. Journaled errors come back as plain errors — the original type
+// is gone, but analytics only consume the message.
+func RestoredResult(c CellResult) fleet.JobResult {
+	r := fleet.JobResult{Index: c.Index, Name: c.Name, SeedUsed: c.SeedUsed, Result: c.Result}
+	if c.Error != "" {
+		r.Err = fmt.Errorf("%s", c.Error)
+	}
+	return r
+}
+
+// MergeInto fills the recovered cells' results into a full-grid result
+// slice (live cells already hold theirs).
+func (p *Plan) MergeInto(results []fleet.JobResult) {
+	for idx, c := range p.Done {
+		if idx >= 0 && idx < len(results) {
+			results[idx] = RestoredResult(c)
+		}
+	}
+}
+
+// ApplyViolations applies the ledgered violation counters to the
+// flattened stats. Call it after the live run's ViolationSink.Apply: live
+// and recovered cells are disjoint, and a recovered index's live counter
+// is empty (ApplyTo on N==0 is a no-op), so the two passes compose.
+func (p *Plan) ApplyViolations(stats []analytics.JobStat) {
+	for i := range stats {
+		if c, ok := p.Done[stats[i].Index]; ok {
+			c.Violation.ApplyTo(&stats[i])
+		}
+	}
+}
+
+// CellEntry builds one completed cell's ledger entry from its live
+// result. acc carries the cell's streamed violation counters (trace-free
+// runs); when nil, the counters are folded from the retained trace with
+// the identical arithmetic the post-hoc path uses, so a restored cell's
+// OverFrac/MeanExcessC are bit-equal either way. The result is copied
+// with Trace and Records stripped — per-sample history is not journaled.
+func CellEntry(res fleet.JobResult, limitC float64, acc *analytics.ViolationAccum) CellResult {
+	c := CellResult{Index: res.Index, Name: res.Name, SeedUsed: res.SeedUsed}
+	if res.Err != nil {
+		c.Error = res.Err.Error()
+	}
+	if acc != nil {
+		c.Violation = *acc
+	}
+	if res.Result != nil {
+		cp := *res.Result
+		if acc == nil && cp.Trace != nil {
+			if s := cp.Trace.Lookup("skin_c"); s != nil {
+				for _, v := range s.Values {
+					c.Violation.Add(v, limitC)
+				}
+			}
+		}
+		cp.Trace = nil
+		cp.Records = nil
+		c.Result = &cp
+	}
+	return c
+}
+
+// OpenSweep opens (or creates) a single-sweep WAL for a local run — the
+// `ustasim -wal` path. A fresh file is initialized with the submission
+// and cell table. An existing non-empty file requires resume=true: its
+// ledger is verified against the grid and returned as the plan; a
+// non-empty file without resume is refused rather than overwritten. The
+// journaled event mode must match the current run's.
+func OpenSweep(path string, grid *scenario.Grid, spec json.RawMessage, event int, resume bool) (*JobLog, *Plan, error) {
+	fi, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr) || (statErr == nil && fi.Size() == 0)
+	if statErr != nil && !os.IsNotExist(statErr) {
+		return nil, nil, statErr
+	}
+	if !fresh && !resume {
+		return nil, nil, fmt.Errorf("durable: %s already journals a sweep; pass -resume to continue it or remove the file", path)
+	}
+
+	if fresh {
+		w, err := Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.SyncEvery = 1
+		l := &JobLog{wal: w, syncEvery: 8}
+		sub := Submission{ID: "sweep", Spec: spec, Event: event}
+		payload, err := json.Marshal(sub)
+		if err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		if err := w.Append(recSubmit, payload); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		if err := l.Cells(GridCells(grid)); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		plan, err := NewPlan(grid, GridCells(grid), nil)
+		if err != nil {
+			l.Close()
+			return nil, nil, err
+		}
+		return l, plan, nil
+	}
+
+	w, recs, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, cells, done, _, err := replay(recs)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	if sub == nil {
+		// Header-only file (a crash before the submission synced): treat as
+		// fresh by journaling submission + cells now.
+		l := &JobLog{wal: w, syncEvery: 8}
+		s := Submission{ID: "sweep", Spec: spec, Event: event}
+		payload, merr := json.Marshal(s)
+		if merr != nil {
+			w.Close()
+			return nil, nil, merr
+		}
+		w.SyncEvery = 1
+		if aerr := w.Append(recSubmit, payload); aerr != nil {
+			w.Close()
+			return nil, nil, aerr
+		}
+		if cerr := l.Cells(GridCells(grid)); cerr != nil {
+			w.Close()
+			return nil, nil, cerr
+		}
+		plan, perr := NewPlan(grid, GridCells(grid), nil)
+		if perr != nil {
+			l.Close()
+			return nil, nil, perr
+		}
+		return l, plan, nil
+	}
+	if sub.Event != event {
+		w.Close()
+		return nil, nil, fmt.Errorf("durable: %s was journaled under event mode %d, this run uses %d; resume with the original -event", path, sub.Event, event)
+	}
+	l := &JobLog{wal: w, syncEvery: 8}
+	if cells == nil {
+		// Crash between submission and expansion: journal the table now.
+		cells = GridCells(grid)
+		if err := l.Cells(cells); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+	}
+	plan, err := NewPlan(grid, cells, done)
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return l, plan, nil
+}

@@ -1,0 +1,193 @@
+package durable
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
+)
+
+// testGrid builds a minimal 4-cell grid (names a..d, seeds 10..13).
+func testGrid() *scenario.Grid {
+	g := &scenario.Grid{}
+	for i, name := range []string{"a", "b", "c", "d"} {
+		g.Points = append(g.Points, scenario.Point{
+			Index: i, GridIndex: i, Cell: i, Name: name,
+			Seed: int64(10 + i), LimitC: 37})
+		g.Jobs = append(g.Jobs, fleet.Job{Seed: int64(10 + i)})
+	}
+	return g
+}
+
+func TestNewPlanVerification(t *testing.T) {
+	grid := testGrid()
+	cells := GridCells(grid)
+	done := map[int]CellResult{1: {Index: 1, Name: "b", SeedUsed: 11}}
+
+	plan, err := NewPlan(grid, cells, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Todo) != 3 || plan.Todo[0] != 0 || plan.Todo[1] != 2 || plan.Todo[2] != 3 {
+		t.Fatalf("Todo = %v, want [0 2 3]", plan.Todo)
+	}
+	if plan.Complete() {
+		t.Fatal("plan with 3 todo cells reports complete")
+	}
+
+	// Mismatched seed: the spec no longer expands to the journaled sweep.
+	bad := append([]CellRef(nil), cells...)
+	bad[2].Seed = 999
+	if _, err := NewPlan(grid, bad, nil); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("seed mismatch: err = %v", err)
+	}
+	// Wrong cell count.
+	if _, err := NewPlan(grid, cells[:3], nil); err == nil {
+		t.Fatal("short cell table accepted")
+	}
+	// Ledger entry with no table.
+	if _, err := NewPlan(grid, nil, done); err == nil {
+		t.Fatal("ledger without cell table accepted")
+	}
+	// Ledger entry out of range.
+	if _, err := NewPlan(grid, cells, map[int]CellResult{9: {Index: 9}}); err == nil {
+		t.Fatal("out-of-range ledger entry accepted")
+	}
+	// Ledger entry naming the wrong cell.
+	if _, err := NewPlan(grid, cells, map[int]CellResult{0: {Index: 0, Name: "zzz"}}); err == nil {
+		t.Fatal("misnamed ledger entry accepted")
+	}
+}
+
+func TestPlanSubGridAndMerge(t *testing.T) {
+	grid := testGrid()
+	cells := GridCells(grid)
+	done := map[int]CellResult{
+		0: {Index: 0, Name: "a", SeedUsed: 10},
+		2: {Index: 2, Name: "c", SeedUsed: 12, Error: "cell failed"},
+	}
+	plan, err := NewPlan(grid, cells, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, remap, err := plan.SubGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != 2 || remap[0] != 1 || remap[1] != 3 {
+		t.Fatalf("subset: %d jobs, remap %v", len(sub.Jobs), remap)
+	}
+	if sub.Points[0].Name != "b" || sub.Points[0].Seed != 11 || sub.Points[0].Index != 0 {
+		t.Fatalf("subset point 0: %+v", sub.Points[0])
+	}
+
+	results := make([]fleet.JobResult, 4)
+	results[1] = fleet.JobResult{Index: 1, Name: "b"}
+	results[3] = fleet.JobResult{Index: 3, Name: "d"}
+	plan.MergeInto(results)
+	if results[0].Name != "a" || results[0].SeedUsed != 10 {
+		t.Fatalf("merged cell 0: %+v", results[0])
+	}
+	if results[2].Err == nil || results[2].Err.Error() != "cell failed" {
+		t.Fatalf("merged cell 2 error: %v", results[2].Err)
+	}
+
+	// A plan with nothing done short-circuits: full grid, nil remap.
+	all, err := NewPlan(grid, cells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, remap2, err := all.SubGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != grid || remap2 != nil {
+		t.Fatal("empty-done plan must return the full grid with nil remap")
+	}
+}
+
+func TestApplyViolations(t *testing.T) {
+	grid := testGrid()
+	plan, err := NewPlan(grid, GridCells(grid), map[int]CellResult{
+		1: {Index: 1, Name: "b", Violation: analytics.ViolationAccum{N: 10, Over: 5, Excess: 2.0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := []analytics.JobStat{{Point: scenario.Point{Index: 0}}, {Point: scenario.Point{Index: 1}}}
+	plan.ApplyViolations(stats)
+	if got := stats[1].OverFrac; got != 0.5 {
+		t.Fatalf("restored OverFrac = %v, want 0.5", got)
+	}
+	if got := stats[1].MeanExcessC; got != 0.4 {
+		t.Fatalf("restored MeanExcessC = %v, want 0.4", got)
+	}
+}
+
+func TestOpenSweepLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.wal")
+	grid := testGrid()
+	spec := json.RawMessage(`{"version":1}`)
+
+	// Fresh: all cells todo.
+	l, plan, err := OpenSweep(path, grid, spec, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Todo) != 4 {
+		t.Fatalf("fresh plan: %d todo, want 4", len(plan.Todo))
+	}
+	if err := l.CellDone(CellResult{Index: 2, Name: "c", SeedUsed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Existing non-empty log without resume: refused, not overwritten.
+	if _, _, err := OpenSweep(path, grid, spec, 3, false); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("overwrite refusal: err = %v", err)
+	}
+
+	// Event-mode mismatch: refused.
+	if _, _, err := OpenSweep(path, grid, spec, 0, true); err == nil || !strings.Contains(err.Error(), "event mode") {
+		t.Fatalf("event mismatch: err = %v", err)
+	}
+
+	// Resume: cell 2 restored, three to run.
+	l, plan, err = OpenSweep(path, grid, spec, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Todo) != 3 || len(plan.Done) != 1 {
+		t.Fatalf("resumed plan: todo %v done %d", plan.Todo, len(plan.Done))
+	}
+	if err := l.Finish(Status{Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenSweepGridDrift resumes under a grid whose seeds changed: the
+// journal must refuse rather than mix physics.
+func TestOpenSweepGridDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.wal")
+	grid := testGrid()
+	l, _, err := OpenSweep(path, grid, json.RawMessage(`{}`), 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	drift := testGrid()
+	drift.Points[3].Seed = 777
+	if _, _, err := OpenSweep(path, drift, json.RawMessage(`{}`), 0, true); err == nil {
+		t.Fatal("seed drift accepted on resume")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/governor"
@@ -104,6 +105,16 @@ type Job struct {
 	// (the recalibrating wrapper) need traced runs; see
 	// device.Phone.SetTraceFree.
 	TraceFree bool
+	// DeadlineSec, when positive, bounds the job's wall-clock execution
+	// time: the run is cancelled with context.DeadlineExceeded once it has
+	// been executing that long, yielding a partial result like any other
+	// cancellation. It exists so one wedged job (a pathological workload, a
+	// starved host) cannot pin a sweep — or a crash-recovered coordinator —
+	// forever. Wall-clock bounds are inherently nondeterministic; jobs that
+	// hit them report the deadline error rather than silently truncating.
+	// Under BatchRunner a deadline job runs on the solo path (a lockstep
+	// wave advances members together and cannot expire one mid-wave).
+	DeadlineSec float64
 	// Seed, when non-zero, pins the device seed (zero is "unset"
 	// throughout this codebase, so a literal zero seed cannot be pinned
 	// here — set Device.Seed for that). When zero, a non-zero
@@ -263,6 +274,11 @@ func runJob(ctx context.Context, cfg *Config, pool *phonePool, i int, job Job) J
 	if err := ctx.Err(); err != nil {
 		r.Err = err
 		return r
+	}
+	if job.DeadlineSec > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.DeadlineSec*float64(time.Second)))
+		defer cancel()
 	}
 	phone, seed, err := preparePhone(cfg, pool, i, &job)
 	r.SeedUsed = seed

@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fleet"
+	"repro/internal/fleet/durable"
 	"repro/internal/fleet/shard"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -52,6 +55,19 @@ type JobServer struct {
 	// Admission gates POST /jobs: a submission that cannot take a token
 	// immediately is answered 429 (nil: always admit).
 	Admission *TokenBucket
+	// Store, when set, journals every submission and its completed-cell
+	// ledger to a write-ahead log (`ustafleetd -state-dir`): finished jobs'
+	// status and results survive a restart, and interrupted sweeps resume
+	// by dispatching only unfinished cells — byte-identical to an
+	// uninterrupted run, because every cell's seed was resolved at submit
+	// time. Call Recover before serving. Journaling failures degrade the
+	// affected job to unjournaled (logged once, visible in its status)
+	// instead of failing submissions.
+	Store *durable.Store
+	// JobDeadline, when positive, bounds each sweep's wall-clock execution:
+	// a job still running that long after submission (or recovery) fails
+	// with a deadline error instead of pinning the server forever.
+	JobDeadline time.Duration
 	// Logf, when set, receives one line per job-lifecycle event.
 	Logf func(format string, args ...any)
 
@@ -93,12 +109,16 @@ func (s *JobServer) Close() {
 type serverJob struct {
 	id string
 
-	mu      sync.Mutex
-	status  string // "running", "done", "failed", "cancelled"
-	done    int
-	total   int
-	errMsg  string
-	comfort []analytics.UserComfort
+	mu          sync.Mutex
+	status      string // "running", "done", "failed", "cancelled"
+	done        int
+	total       int
+	errMsg      string
+	comfort     []analytics.UserComfort
+	userCancel  bool // POST /jobs/{id}/cancel (vs a server drain)
+	unjournaled bool // journaling failed; job served from memory only
+	resumed     int  // cells restored from the ledger instead of re-run
+	deadlineSec float64
 
 	bus      *Bus
 	agg      *obs.Aggregator    // live aggregation state (nil until the grid exists)
@@ -106,6 +126,7 @@ type serverJob struct {
 	busReady chan struct{}      // closed once bus (and total) exist
 	cancel   context.CancelFunc
 	finished chan struct{}
+	jlog     *durable.JobLog // nil: no store, or journaling degraded at Begin
 }
 
 // statusBody is the GET /jobs/{id} response shape.
@@ -116,13 +137,22 @@ type statusBody struct {
 	Total   int                     `json:"total"`
 	Error   string                  `json:"error,omitempty"`
 	Comfort []analytics.UserComfort `json:"comfort,omitempty"`
+	// Unjournaled marks a job the state store could not journal (disk
+	// full, permissions): it runs and serves from memory but will not
+	// survive a restart.
+	Unjournaled bool `json:"unjournaled,omitempty"`
+	// Resumed counts cells restored from the ledger after a restart.
+	Resumed int `json:"resumed,omitempty"`
+	// DeadlineSec is the sweep's wall-clock deadline (0: none).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
 }
 
 func (j *serverJob) snapshot() statusBody {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return statusBody{ID: j.id, Status: j.status, Done: j.done, Total: j.total,
-		Error: j.errMsg, Comfort: j.comfort}
+		Error: j.errMsg, Comfort: j.comfort, Unjournaled: j.unjournaled,
+		Resumed: j.resumed, DeadlineSec: j.deadlineSec}
 }
 
 // Handler returns the HTTP API.
@@ -185,18 +215,63 @@ func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("j%d", s.seq)
 	ctx, cancel := context.WithCancel(s.ctx)
 	j := &serverJob{id: id, status: "running", cancel: cancel,
-		busReady: make(chan struct{}), finished: make(chan struct{})}
+		deadlineSec: s.JobDeadline.Seconds(),
+		busReady:    make(chan struct{}), finished: make(chan struct{})}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	if s.Store != nil {
+		// Journal the submission (synced) before acknowledging: an accepted
+		// job must survive an immediate crash. A store failure degrades the
+		// job to unjournaled rather than rejecting the submission.
+		jlog, err := s.Store.Begin(durable.Submission{
+			ID: id, Spec: body, DeadlineSec: s.JobDeadline.Seconds()})
+		if err != nil {
+			s.journalDegraded(j, err)
+		} else {
+			j.jlog = jlog
+		}
+	}
 	s.logf("net: job %s: submitted", id)
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		s.execute(ctx, j, spec)
+		if s.JobDeadline > 0 {
+			var dcancel context.CancelFunc
+			ctx, dcancel = context.WithTimeout(ctx, s.JobDeadline)
+			defer dcancel()
+		}
+		s.execute(ctx, j, spec, nil)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+// journalDegraded marks a job unjournaled after a state-store failure,
+// logging the cause once; the job keeps running and serving from memory.
+func (s *JobServer) journalDegraded(j *serverJob, err error) {
+	j.mu.Lock()
+	first := !j.unjournaled
+	j.unjournaled = true
+	j.mu.Unlock()
+	if first {
+		s.logf("net: job %s: state journaling disabled: %v (job continues unjournaled)", j.id, err)
+	}
+}
+
+// journal applies one journaling operation, degrading the job on failure.
+// The job log latches its first error, so a dead disk costs one failed
+// syscall per call here, not a growing pile of them.
+func (s *JobServer) journal(j *serverJob, op func(l *durable.JobLog) error) {
+	j.mu.Lock()
+	l := j.jlog
+	j.mu.Unlock()
+	if l == nil {
+		return
+	}
+	if err := op(l); err != nil {
+		s.journalDegraded(j, err)
+	}
 }
 
 func (s *JobServer) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -214,6 +289,12 @@ func (s *JobServer) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	j.mu.Lock()
+	// User cancels journal a terminal record (the job must stay cancelled
+	// across restarts); a server drain's cancellation must not, so that
+	// drained jobs resume. The flag is how execute tells them apart.
+	j.userCancel = true
+	j.mu.Unlock()
 	j.cancel()
 	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "status": "cancelling"})
 }
@@ -254,10 +335,38 @@ func (s *JobServer) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// finishJob journals the terminal record when the outcome should survive
+// a restart — everything except a drain's cancellation (and a cancelled
+// run's ledger already skipped the cells the cancel interrupted), so a
+// drained or killed coordinator resumes the sweep on recovery.
+func (s *JobServer) finishJob(j *serverJob, st durable.Status) {
+	j.mu.Lock()
+	userCancel := j.userCancel
+	l := j.jlog
+	j.jlog = nil
+	j.mu.Unlock()
+	if l == nil {
+		return
+	}
+	if st.Status != "cancelled" || userCancel {
+		if err := l.Finish(st); err != nil {
+			s.journalDegraded(j, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		s.journalDegraded(j, err)
+	}
+}
+
 // execute runs one submitted sweep to completion, mirroring the public
 // RunScenario pipeline (self-trained predictor, trace-free violation
-// accumulation, analytics join) with the bus as the telemetry sink.
-func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Spec) {
+// accumulation, analytics join) with the bus as the telemetry sink. rec,
+// when non-nil, is the job's replayed WAL state: the run verifies the
+// re-expanded grid against the journaled cell table, restores ledgered
+// cells without re-running them, and dispatches only the remainder —
+// byte-identical to an uninterrupted run, because every cell's seed was
+// pinned at submit time.
+func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Spec, rec *durable.RecoveredJob) {
 	fail := func(err error) {
 		j.mu.Lock()
 		if errors.Is(err, context.Canceled) && ctx.Err() != nil {
@@ -268,6 +377,7 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 		j.errMsg = err.Error()
 		agg, status := j.agg, j.status
 		j.mu.Unlock()
+		s.finishJob(j, durable.Status{Status: status, Error: err.Error()})
 		if agg != nil {
 			// Terminal frame for event-stream subscribers.
 			agg.Finish(status)
@@ -313,6 +423,22 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 		return
 	}
 
+	// Resolve the resume plan: verify a recovered ledger against the
+	// re-expanded grid, or journal the fresh cell table.
+	var journaledCells []durable.CellRef
+	done := map[int]durable.CellResult{}
+	if rec != nil {
+		journaledCells, done = rec.Cells, rec.Done
+	}
+	plan, err := durable.NewPlan(grid, journaledCells, done)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if journaledCells == nil {
+		s.journal(j, func(l *durable.JobLog) error { return l.Cells(durable.GridCells(grid)) })
+	}
+
 	bus := NewBus(len(grid.Jobs))
 	agg := obs.NewAggregator(grid)
 	runner := s.jobRunner(pred)
@@ -320,6 +446,7 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 	j.bus = bus
 	j.agg = agg
 	j.total = len(grid.Jobs)
+	j.resumed = len(plan.Done)
 	if nr, ok := runner.(*Runner); ok {
 		// The per-job clone owns the run's recovery stats; retain its
 		// accessor so /fleet and /metrics see them, and poll it into the
@@ -330,27 +457,89 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 	j.mu.Unlock()
 	close(j.busReady)
 
+	// Restore ledgered cells before the live subset streams: the bus
+	// closes their (empty) telemetry slots and the aggregator folds their
+	// journaled violation counters through the same arithmetic as a live
+	// completion. Ascending order keeps the replayed state deterministic.
+	restoredIdx := make([]int, 0, len(plan.Done))
+	for idx := range plan.Done {
+		restoredIdx = append(restoredIdx, idx)
+	}
+	sort.Ints(restoredIdx)
+	for _, idx := range restoredIdx {
+		c := plan.Done[idx]
+		bus.Finish(idx)
+		agg.SeedJob(durable.RestoredResult(c), c.Violation)
+		j.mu.Lock()
+		j.done++
+		j.mu.Unlock()
+	}
+
+	subGrid, remap, err := plan.SubGrid()
+	if err != nil {
+		fail(err)
+		return
+	}
+	toFull := func(i int) int {
+		if remap == nil {
+			return i
+		}
+		return remap[i]
+	}
+
+	// Sinks are sized and indexed for the full grid; a subset run feeds
+	// them through the remap adapter so ledger, bus and aggregator state
+	// key on full-grid indices throughout.
 	runSink := sink.Sink(sink.NewTee(bus, agg))
 	var vs *analytics.ViolationSink
 	if spec.TraceFree {
 		vs = analytics.NewViolationSink(grid.Limits())
 		runSink = sink.NewTee(vs, bus, agg)
 	}
+	if remap != nil {
+		runSink = sink.NewRemap(runSink, remap)
+	}
+	limits := grid.Limits()
 	cfg := fleet.Config{
 		Workers: s.Workers,
 		Seed:    spec.Seeds.Base,
 		Sink:    runSink,
 		OnResult: func(res fleet.JobResult) {
-			bus.Finish(res.Index)
-			agg.JobDone(res)
+			full := res
+			full.Index = toFull(res.Index)
+			// Cells interrupted by cancellation (drain, deadline) are not
+			// ledgered: their partial results must re-run on resume.
+			if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded) {
+				var acc *analytics.ViolationAccum
+				if vs != nil {
+					a := vs.Accum(full.Index)
+					acc = &a
+				}
+				entry := durable.CellEntry(full, limits[full.Index], acc)
+				s.journal(j, func(l *durable.JobLog) error { return l.CellDone(entry) })
+			}
+			bus.Finish(full.Index)
+			agg.JobDone(full)
 			j.mu.Lock()
 			j.done++
 			j.mu.Unlock()
 		},
 		Runner: runner,
 	}
-	results := fleet.New(cfg).Run(ctx, grid.Jobs)
+	subResults := fleet.New(cfg).Run(ctx, subGrid.Jobs)
 	bus.Close()
+
+	// Merge: live subset results land at their full-grid indices, ledgered
+	// cells are restored around them.
+	results := subResults
+	if remap != nil {
+		results = make([]fleet.JobResult, len(grid.Jobs))
+		for i, res := range subResults {
+			res.Index = remap[i]
+			results[res.Index] = res
+		}
+		plan.MergeInto(results)
+	}
 	stats, err := analytics.Flatten(grid, results)
 	if err != nil {
 		fail(err)
@@ -359,12 +548,18 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 	if vs != nil {
 		vs.Apply(stats)
 	}
+	plan.ApplyViolations(stats)
 	comfort := analytics.ComfortByUser(stats)
 
 	j.mu.Lock()
 	if err := ctx.Err(); err != nil {
-		j.status = "cancelled"
-		j.errMsg = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) {
+			j.status = "failed"
+			j.errMsg = fmt.Sprintf("job deadline (%gs) exceeded", j.deadlineSec)
+		} else {
+			j.status = "cancelled"
+			j.errMsg = err.Error()
+		}
 	} else if err := fleet.FirstError(results); err != nil {
 		j.status = "failed"
 		j.errMsg = err.Error()
@@ -372,14 +567,15 @@ func (s *JobServer) execute(ctx context.Context, j *serverJob, spec *scenario.Sp
 		j.status = "done"
 	}
 	j.comfort = comfort
-	status := j.status
+	status, errMsg := j.status, j.errMsg
 	j.mu.Unlock()
+	s.finishJob(j, durable.Status{Status: status, Error: errMsg, Comfort: comfort})
 	// Terminal frame: subscribers drain and disconnect on Final. The
 	// aggregates it carries are pinned byte-equal to the post-hoc stats
 	// computed above — see TestEventsFinalSnapshotMatchesAnalytics.
 	agg.Finish(status)
 	close(j.finished)
-	s.logf("net: job %s: %s (%d jobs)", j.id, j.snapshot().Status, len(results))
+	s.logf("net: job %s: %s (%d jobs, %d resumed)", j.id, j.snapshot().Status, len(results), len(plan.Done))
 }
 
 // jobRunner resolves the per-job runner: the server's runner, copied with

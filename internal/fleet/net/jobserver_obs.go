@@ -262,6 +262,24 @@ func (s *JobServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, v := range views {
 		mw.Sample("usta_job_samples_total", jl(v.id), float64(v.prog.Samples))
 	}
+	// Durability families cover every job (terminal recovered jobs have no
+	// aggregator, so they come from the status snapshots, not views).
+	snaps := make([]statusBody, 0, len(jobs))
+	for _, j := range jobs {
+		snaps = append(snaps, j.snapshot())
+	}
+	mw.Family("usta_job_resumed_cells", "Cells restored from the WAL ledger instead of re-run.", "gauge")
+	for _, sb := range snaps {
+		mw.Sample("usta_job_resumed_cells", jl(sb.ID), float64(sb.Resumed))
+	}
+	mw.Family("usta_job_unjournaled", "1 when state journaling failed and the job lives in memory only.", "gauge")
+	for _, sb := range snaps {
+		mw.Sample("usta_job_unjournaled", jl(sb.ID), b2f(sb.Unjournaled))
+	}
+	mw.Family("usta_job_deadline_seconds", "Wall-clock deadline bounding the sweep (0: none).", "gauge")
+	for _, sb := range snaps {
+		mw.Sample("usta_job_deadline_seconds", jl(sb.ID), sb.DeadlineSec)
+	}
 	mw.Family("usta_class_samples_total", "Telemetry samples per user class.", "counter")
 	for _, v := range views {
 		for _, h := range v.hists {

@@ -130,6 +130,34 @@ func (a *Aggregator) JobDone(res fleet.JobResult) {
 	a.notify()
 }
 
+// SeedJob restores one recovered cell into the rolling state: the
+// ledgered result joins its grid point and the journaled violation
+// counters are reduced through the same ApplyTo as a live completion, so
+// a resumed run's final Aggregates stay byte-equal to an uninterrupted
+// one. Sample-level extras (histograms, sparklines, sample count) are not
+// restored — the pre-crash stream is gone and they sit outside the
+// determinism pin. Call before the live subset starts streaming.
+func (a *Aggregator) SeedJob(res fleet.JobResult, acc analytics.ViolationAccum) {
+	a.mu.Lock()
+	i := res.Index
+	if i < 0 || i >= len(a.stats) || a.jobDone[i] {
+		a.mu.Unlock()
+		return
+	}
+	a.acc[i] = acc
+	st := &a.stats[i]
+	st.Result = res.Result
+	st.Err = res.Err
+	a.acc[i].ApplyTo(st)
+	a.jobDone[i] = true
+	a.done++
+	if res.Err != nil {
+		a.failed++
+	}
+	a.mu.Unlock()
+	a.notify()
+}
+
 // Finish marks the run complete with its terminal status ("done",
 // "failed", or "cancelled"). Snapshots taken afterwards carry Final=true
 // and are stable: the aggregates they carry are the run's post-hoc

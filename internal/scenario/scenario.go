@@ -229,6 +229,41 @@ func (g *Grid) Limits() []float64 {
 	return out
 }
 
+// Subset returns the grid restricted to the cells at the given Jobs
+// indices, in the given order. Each surviving cell keeps its GridIndex,
+// Cell, Name and — crucially — its pinned Seed, so its physics are
+// byte-identical to a full-grid run; only Index (and the JobSpec's Index)
+// is renumbered to the subset position. This is what crash-recovery
+// resume runs: the unfinished cells of a journaled sweep, as a grid of
+// their own. Job specs are copied, not shared, because runners stamp
+// dispatch indices into them.
+func (g *Grid) Subset(idxs []int) (*Grid, error) {
+	sub := &Grid{Spec: g.Spec,
+		Jobs:   make([]fleet.Job, 0, len(idxs)),
+		Points: make([]Point, 0, len(idxs))}
+	seen := make(map[int]bool, len(idxs))
+	for _, idx := range idxs {
+		if idx < 0 || idx >= len(g.Jobs) {
+			return nil, fmt.Errorf("scenario: subset index %d outside the %d-job grid", idx, len(g.Jobs))
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("scenario: subset index %d listed twice", idx)
+		}
+		seen[idx] = true
+		job := g.Jobs[idx]
+		if job.Spec != nil {
+			specCopy := *job.Spec
+			specCopy.Index = len(sub.Jobs)
+			job.Spec = &specCopy
+		}
+		pt := g.Points[idx]
+		pt.Index = len(sub.Points)
+		sub.Jobs = append(sub.Jobs, job)
+		sub.Points = append(sub.Points, pt)
+	}
+	return sub, nil
+}
+
 // Env supplies what a spec cannot carry in JSON: the base device
 // configuration and a trained predictor for usta schemes.
 type Env struct {

@@ -341,3 +341,60 @@ func TestSpecString(t *testing.T) {
 		}
 	}
 }
+
+// TestGridSubset pins the crash-recovery resume contract: a subset grid
+// keeps each surviving cell's name, seed and GridIndex (so physics are
+// byte-identical to the full run) while renumbering Index and the
+// JobSpec's dispatch index to subset positions — on a copy, never the
+// shared spec.
+func TestGridSubset(t *testing.T) {
+	spec := &Spec{
+		Version:   1,
+		Workloads: []string{"skype", "game"},
+		Schemes:   []Scheme{{Name: "baseline"}, {Name: "usta", Controller: "usta", LimitC: 37}},
+		Seeds:     Seeds{Policy: "indexed", Base: 100},
+		Duration:  Duration{Sec: 60},
+	}
+	grid, err := spec.Expand(Env{Predictor: &core.Predictor{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSpecIdx := make([]int, len(grid.Jobs))
+	for i, j := range grid.Jobs {
+		origSpecIdx[i] = j.Spec.Index
+	}
+	sub, err := grid.Subset([]int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != 2 || len(sub.Points) != 2 {
+		t.Fatalf("subset size = %d/%d, want 2", len(sub.Jobs), len(sub.Points))
+	}
+	for i, src := range []int{3, 1} {
+		p, orig := sub.Points[i], grid.Points[src]
+		if p.Name != orig.Name || p.Seed != orig.Seed || p.GridIndex != orig.GridIndex {
+			t.Fatalf("subset point %d lost identity: %+v vs %+v", i, p, orig)
+		}
+		if p.Index != i {
+			t.Fatalf("subset point %d Index = %d", i, p.Index)
+		}
+		if sub.Jobs[i].Seed != grid.Jobs[src].Seed {
+			t.Fatalf("subset job %d seed changed", i)
+		}
+		if sub.Jobs[i].Spec == nil || sub.Jobs[i].Spec.Index != i {
+			t.Fatalf("subset job %d spec index = %v", i, sub.Jobs[i].Spec)
+		}
+		if sub.Jobs[i].Spec == grid.Jobs[src].Spec {
+			t.Fatalf("subset job %d shares its JobSpec with the full grid", i)
+		}
+		if grid.Jobs[src].Spec.Index != origSpecIdx[src] {
+			t.Fatalf("full grid job %d spec index mutated to %d", src, grid.Jobs[src].Spec.Index)
+		}
+	}
+	if _, err := grid.Subset([]int{0, 4}); err == nil {
+		t.Fatal("out-of-range subset index accepted")
+	}
+	if _, err := grid.Subset([]int{1, 1}); err == nil {
+		t.Fatal("duplicate subset index accepted")
+	}
+}

@@ -53,6 +53,8 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -61,6 +63,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/fleet/durable"
 	fleetnet "repro/internal/fleet/net"
 	"repro/internal/fleet/shard"
 	"repro/internal/governor"
@@ -348,6 +351,8 @@ type scenarioRun struct {
 	sink     Sink
 	progress func(done, total int)
 	event    EventMode
+	walPath  string
+	resume   bool
 }
 
 // ScenarioOption configures RunScenario.
@@ -418,6 +423,27 @@ func ScenarioProgress(fn func(done, total int)) ScenarioOption {
 	return func(rc *scenarioRun) { rc.progress = fn }
 }
 
+// ScenarioWAL journals the sweep to a write-ahead log at path: the spec
+// and the expanded cell table (every cell's name and pre-resolved seed)
+// before the first job runs, then each completed cell's result and
+// violation counters as it finishes. A run killed partway leaves a log
+// that ScenarioResume continues from, re-running only the missing cells —
+// final aggregates byte-identical to an uninterrupted run. A non-empty
+// log at path without ScenarioResume is refused, not overwritten.
+// (`ustasim -wal`; the daemon's `-state-dir` is the multi-job form.)
+func ScenarioWAL(path string) ScenarioOption {
+	return func(rc *scenarioRun) { rc.walPath = path }
+}
+
+// ScenarioResume continues an interrupted ScenarioWAL sweep: the journaled
+// cell table is verified against the freshly expanded grid (a spec or
+// seed change refuses to resume rather than mixing physics), ledgered
+// cells are restored without re-running, and only the remainder executes.
+// Resuming an already-complete log just restores every cell.
+func ScenarioResume() ScenarioOption {
+	return func(rc *scenarioRun) { rc.resume = true }
+}
+
 // RunScenario expands the spec and executes the whole grid on a fleet:
 // the declarative counterpart of NewFleet + hand-built jobs. Per-job
 // failures surface in the result (SweepResult.FirstError); the returned
@@ -457,9 +483,32 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 	if err != nil {
 		return nil, err
 	}
+	// With ScenarioWAL the sweep is journaled: open (or resume) the log and
+	// derive the plan — which cells are already ledgered, which still run.
+	var jlog *durable.JobLog
+	var plan *durable.Plan
+	if rc.walPath != "" {
+		specBytes, merr := json.Marshal(spec)
+		if merr != nil {
+			return nil, fmt.Errorf("repro: marshal spec for journal: %w", merr)
+		}
+		jlog, plan, err = durable.OpenSweep(rc.walPath, grid, specBytes, int(rc.event), rc.resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+	runGrid, remap := grid, []int(nil)
+	if plan != nil {
+		if runGrid, remap, err = plan.SubGrid(); err != nil {
+			jlog.Close()
+			return nil, err
+		}
+	}
 	// Trace-free sweeps retain no per-sample history, so violation
 	// statistics are accumulated on the fly: the run sink is teed into a
 	// ViolationSink sized from the grid, and the stats are filled from it.
+	// Sinks always index the full grid; a resume's subset run reaches them
+	// through the remap adapter.
 	runSink := rc.sink
 	var vs *analytics.ViolationSink
 	if spec.TraceFree {
@@ -470,12 +519,36 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 			runSink = vs
 		}
 	}
+	if remap != nil && runSink != nil {
+		runSink = sink.NewRemap(runSink, remap)
+	}
 	fcfg := fleet.Config{
 		Workers:    rc.workers,
 		Seed:       spec.Seeds.Base,
 		OnProgress: rc.progress,
 		Sink:       runSink,
 		Event:      rc.event,
+	}
+	if jlog != nil {
+		limits := grid.Limits()
+		fcfg.OnResult = func(res JobResult) {
+			// Cells interrupted by cancellation re-run on resume; everything
+			// else is ledgered (errors latch inside the log — a bad disk does
+			// not fail the sweep, it surfaces at Close).
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				return
+			}
+			full := res
+			if remap != nil {
+				full.Index = remap[res.Index]
+			}
+			var acc *analytics.ViolationAccum
+			if vs != nil {
+				a := vs.Accum(full.Index)
+				acc = &a
+			}
+			jlog.CellDone(durable.CellEntry(full, limits[full.Index], acc))
+		}
 	}
 	if rc.batched && rc.runner != nil {
 		switch rc.runner.(type) {
@@ -524,13 +597,46 @@ func RunScenario(ctx context.Context, spec *ScenarioSpec, opts ...ScenarioOption
 		fcfg.Runner = &nrCopy
 	}
 	fl := fleet.New(fcfg)
-	results := fl.Run(ctx, grid.Jobs)
+	results := fl.Run(ctx, runGrid.Jobs)
+	// A resume ran only the unfinished subset: land its results at their
+	// full-grid indices and restore the ledgered cells around them.
+	if remap != nil {
+		full := make([]JobResult, len(grid.Jobs))
+		for i, r := range results {
+			r.Index = remap[i]
+			full[r.Index] = r
+		}
+		plan.MergeInto(full)
+		results = full
+	}
 	stats, err := analytics.Flatten(grid, results)
 	if err != nil {
+		if jlog != nil {
+			jlog.Close()
+		}
 		return nil, err
 	}
 	if vs != nil {
 		vs.Apply(stats)
+	}
+	if plan != nil {
+		plan.ApplyViolations(stats)
+	}
+	if jlog != nil {
+		// A cancelled run leaves the log non-terminal so ScenarioResume can
+		// continue it; a completed run is sealed with its status. Journal
+		// failures latched during the run surface here, loudly — the sweep's
+		// numbers are fine, but its durability promise is not.
+		if ctx.Err() == nil {
+			st := durable.Status{Status: "done"}
+			if ferr := fleet.FirstError(results); ferr != nil {
+				st = durable.Status{Status: "failed", Error: ferr.Error()}
+			}
+			jlog.Finish(st)
+		}
+		if cerr := jlog.Close(); cerr != nil {
+			return nil, fmt.Errorf("repro: sweep journal %s: %w", rc.walPath, cerr)
+		}
 	}
 	return &SweepResult{Grid: grid, Results: results, Stats: stats}, nil
 }
